@@ -1,0 +1,48 @@
+// bench_common.hpp — shared plumbing for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace symbiosis::bench {
+
+/// The default reproduction pipeline (Core-2-Duo-like machine, weighted
+/// interference graph, paper-ratio OS parameters).
+[[nodiscard]] inline core::PipelineConfig default_pipeline(std::uint64_t seed = 42) {
+  core::PipelineConfig config;
+  config.sync_scale();
+  config.seed = seed;
+  config.measure_max_cycles = 4'000'000'000ull;  // safety net only
+  return config;
+}
+
+/// Print a Fig 10/11/12-style per-benchmark improvement table.
+inline void print_improvements(const std::string& title,
+                               const std::vector<core::BenchmarkImprovement>& summary) {
+  std::printf("%s\n", title.c_str());
+  util::TextTable table({"benchmark", "max improvement", "avg improvement", "mixes",
+                         "(oracle max)", "(oracle avg)"});
+  double max_of_max = 0.0, sum = 0.0, oracle_sum = 0.0;
+  int total = 0;
+  for (const auto& row : summary) {
+    table.add_row({row.name, util::TextTable::pct(row.max_improvement),
+                   util::TextTable::pct(row.avg_improvement()), std::to_string(row.mixes),
+                   util::TextTable::pct(row.max_oracle),
+                   util::TextTable::pct(row.avg_oracle())});
+    max_of_max = std::max(max_of_max, row.max_improvement);
+    sum += row.sum_improvement;
+    oracle_sum += row.sum_oracle;
+    total += row.mixes;
+  }
+  table.print();
+  std::printf("overall: max %s, avg %s (oracle avg %s) across %d benchmark-in-mix samples\n\n",
+              util::TextTable::pct(max_of_max).c_str(),
+              util::TextTable::pct(total ? sum / total : 0.0).c_str(),
+              util::TextTable::pct(total ? oracle_sum / total : 0.0).c_str(), total);
+}
+
+}  // namespace symbiosis::bench

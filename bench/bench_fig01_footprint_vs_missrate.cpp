@@ -1,0 +1,64 @@
+// Figure 1 — different cache footprints with the same miss rate.
+//
+// The paper's motivating example: in an 8-set direct-mapped cache, app A
+// (stride 8) and app B (stride 2) both miss on every access, yet A occupies
+// 1/8 of the cache and B 1/2. Event counters cannot tell them apart; the
+// footprint can. We re-enact it on a real simulated cache and additionally
+// show that the counting-Bloom-filter occupancy weight exposes the
+// difference while the miss rate does not.
+#include <cstdio>
+
+#include "cachesim/cache.hpp"
+#include "sig/filter_unit.hpp"
+#include "util/table.hpp"
+#include "workload/access_pattern.hpp"
+
+int main() {
+  using namespace symbiosis;
+  std::printf("=== Figure 1: different cache footprints with the same miss rate ===\n\n");
+
+  // 8-set direct-mapped cache, 64B lines — exactly the paper's toy config.
+  const cachesim::CacheGeometry geom{8 * 64, 1, 64};
+
+  util::TextTable table({"app", "stride (lines)", "miss rate", "footprint (lines)",
+                         "CBF occupancy weight"});
+
+  for (const std::uint64_t stride_lines : {8ull, 2ull, 1ull}) {
+    cachesim::Cache cache(geom, cachesim::ReplacementKind::Lru);
+    sig::FilterUnitConfig fc;
+    fc.num_cores = 1;
+    fc.cache_sets = geom.sets();
+    fc.cache_ways = geom.ways;
+    fc.hash = sig::HashKind::Modulo;
+    sig::FilterUnit filter(fc);
+
+    workload::PatternSpec spec;
+    spec.kind = workload::PatternKind::Strided;
+    // Region of 16 lines so every stride wraps and revisits the same lines
+    // forever — the steady-state pattern of the figure.
+    spec.region_bytes = 16 * 64;
+    spec.stride_bytes = stride_lines * 64;
+    util::Rng rng(1);
+    auto pattern = workload::make_pattern(spec, 0, rng);
+
+    for (int i = 0; i < 4096; ++i) {
+      const auto line = geom.line_of(pattern->next(rng));
+      const auto result = cache.access(line, false, 0);
+      if (!result.hit) {
+        if (result.evicted) filter.on_evict(result.victim_line, result.set, result.way);
+        filter.on_fill(line, 0, result.set, result.way);
+      }
+    }
+
+    table.add_row({stride_lines == 8 ? "A (paper)" : stride_lines == 2 ? "B (paper)" : "unit",
+                   std::to_string(stride_lines),
+                   util::TextTable::pct(cache.stats().miss_rate()),
+                   std::to_string(cache.occupancy()),
+                   std::to_string(filter.core_filter_weight(0))});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): strides 8 and 2 share a ~100%% miss rate but occupy\n"
+      "1 vs 4 of the 8 cache lines; the occupancy weight tracks the footprint.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared driver for Figures 3(a) and 3(b): all pairs of the 12-program
+// pool, reporting each benchmark's WORST-CASE user-time degradation
+// relative to running standalone.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "util/table.hpp"
+#include "workload/benchmark_model.hpp"
+
+namespace symbiosis::bench {
+
+struct PairSweepResult {
+  std::map<std::string, double> worst_degradation;  // per benchmark
+  std::map<std::string, std::string> worst_partner;
+};
+
+/// Run every unordered pair of pool programs on @p cfg.
+/// @param same_core  true = both pinned to core 0 (the paper's private-L2
+///                   P4 experiment); false = one per core (shared-L2 C2D).
+[[nodiscard]] inline PairSweepResult run_pair_sweep(const machine::MachineConfig& cfg,
+                                                    bool same_core, double length_scale,
+                                                    std::uint64_t seed) {
+  workload::ScaleConfig scale;
+  scale.l2_bytes = cfg.hierarchy.l2.size_bytes;
+  scale.length_scale = length_scale;
+  const auto& pool = workload::spec2006_pool();
+
+  // Standalone baselines.
+  std::map<std::string, double> solo;
+  for (const auto& name : pool) {
+    machine::Machine m(cfg);
+    const auto id = m.add_task(
+        workload::make_spec_workload(name, machine::address_space_base(0), util::Rng{seed}, scale),
+        0);
+    m.run_to_all_complete(0);
+    solo[name] = static_cast<double>(m.task(id).first_completion_user_cycles);
+  }
+
+  PairSweepResult result;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      machine::Machine m(cfg);
+      const auto a = m.add_task(workload::make_spec_workload(pool[i], machine::address_space_base(0),
+                                                             util::Rng{seed + 1}, scale),
+                                0);
+      const auto b = m.add_task(workload::make_spec_workload(pool[j], machine::address_space_base(1),
+                                                             util::Rng{seed + 2}, scale),
+                                same_core ? 0 : 1);
+      m.run_to_all_complete(0);
+      for (const auto [id, name, other] :
+           {std::tuple{a, pool[i], pool[j]}, std::tuple{b, pool[j], pool[i]}}) {
+        const double degradation =
+            static_cast<double>(m.task(id).first_completion_user_cycles) / solo[name] - 1.0;
+        if (degradation > result.worst_degradation[name]) {
+          result.worst_degradation[name] = degradation;
+          result.worst_partner[name] = other;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+inline void print_pair_sweep(const PairSweepResult& result) {
+  util::TextTable table({"benchmark", "worst-case degradation", "worst partner"});
+  double peak = 0.0;
+  std::string peak_name;
+  for (const auto& name : workload::spec2006_pool()) {
+    const auto it = result.worst_degradation.find(name);
+    const double d = it == result.worst_degradation.end() ? 0.0 : it->second;
+    table.add_row({name, util::TextTable::pct(d),
+                   result.worst_partner.count(name) ? result.worst_partner.at(name) : "-"});
+    if (d > peak) {
+      peak = d;
+      peak_name = name;
+    }
+  }
+  table.print();
+  std::printf("\npeak degradation: %s for %s\n", util::TextTable::pct(peak).c_str(),
+              peak_name.c_str());
+}
+
+}  // namespace symbiosis::bench

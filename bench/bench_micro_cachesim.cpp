@@ -1,0 +1,69 @@
+// Micro-benchmarks of the cache/machine substrate: raw cache accesses,
+// hierarchy walks with and without the signature unit, and full simulated
+// machine steps — the numbers that determine how long the figure benches
+// take per simulated reference.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "machine/machine.hpp"
+#include "workload/benchmark_model.hpp"
+
+namespace {
+
+using namespace symbiosis;
+
+void BM_CacheAccess(benchmark::State& state) {
+  cachesim::Cache cache({256 * 1024, 16, 64},
+                        static_cast<cachesim::ReplacementKind>(state.range(0)));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_below(1 << 16), false, 0));
+  }
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(cachesim::ReplacementKind::Lru))
+    ->Arg(static_cast<int>(cachesim::ReplacementKind::TreePlru))
+    ->Arg(static_cast<int>(cachesim::ReplacementKind::Random));
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  cachesim::HierarchyConfig cfg;
+  cfg.signature.enabled = state.range(0) != 0;
+  cachesim::Hierarchy h(cfg);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.access(0, rng.next_below(1 << 22), false));
+  }
+}
+BENCHMARK(BM_HierarchyAccess)->Arg(0)->Arg(1);
+
+void BM_MachineStep(benchmark::State& state) {
+  machine::MachineConfig cfg = machine::core2duo_config();
+  machine::Machine m(cfg);
+  workload::ScaleConfig scale;
+  util::Rng rng(3);
+  m.add_task(workload::make_spec_workload("mcf", machine::address_space_base(0), rng.split(1),
+                                          scale));
+  m.add_task(workload::make_spec_workload("libquantum", machine::address_space_base(1),
+                                          rng.split(2), scale));
+  std::uint64_t simulated = 0;
+  for (auto _ : state) {
+    m.run_for(100'000);
+    simulated += 100'000;
+  }
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineStep)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadNext(benchmark::State& state) {
+  workload::ScaleConfig scale;
+  auto w = workload::make_spec_workload(state.range(0) == 0 ? "mcf" : "libquantum", 0,
+                                        util::Rng{4}, scale);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w->next());
+    if (w->complete()) w->restart();
+  }
+}
+BENCHMARK(BM_WorkloadNext)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// §5.4 — implementation overheads: hardware cost of the signature unit and
+// the effect of set-sampling on both cost and decision quality.
+//
+// The paper's arithmetic: (2N + L) signature bits per tracked line over
+// (64 + 18) bits of per-line storage = 8.5% for a dual-core with 3-bit
+// counters, "inordinately large"; 25% set-sampling brings it to 2.13%, and
+// sampling "does not affect the correctness of the algorithm" — the chosen
+// schedules stay the same. We reproduce the cost table and measure decision
+// agreement across sampling ratios on representative mixes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/overheads.hpp"
+
+using namespace symbiosis;
+
+int main() {
+  std::printf("=== Section 5.4: implementation overheads ===\n\n");
+
+  // --- hardware cost table ---
+  util::TextTable hardware({"cores", "sampling", "bits/line", "paper arithmetic",
+                            "64B-line arithmetic", "storage for 4MB L2"});
+  for (const std::size_t cores : {2, 4, 8}) {
+    for (const double ratio : {1.0, 0.5, 0.25, 0.125}) {
+      core::OverheadModel model;
+      model.num_cores = cores;
+      model.sample_ratio = ratio;
+      char storage[32];
+      std::snprintf(storage, sizeof storage, "%.1f KB", model.storage_bytes(65536) / 1024.0);
+      hardware.add_row({std::to_string(cores), util::TextTable::pct(ratio, 1),
+                        util::TextTable::fmt(model.bits_per_tracked_line(), 0),
+                        util::TextTable::pct(model.relative_overhead_paper(), 2),
+                        util::TextTable::pct(model.relative_overhead_64byte_line(), 2), storage});
+    }
+  }
+  hardware.print();
+  std::printf(
+      "\npaper's quoted numbers: 8.5%% unsampled dual-core, 2.13%% at 25%% sampling.\n");
+
+  std::printf("\nsoftware overheads: %s\n\n",
+              core::software_cost_summary(2, 65536, 20'000'000).c_str());
+
+  // --- decision agreement under sampling ---
+  std::printf("decision agreement: chosen mapping per sampling ratio\n");
+  const std::vector<std::vector<std::string>> mixes = {
+      {"mcf", "libquantum", "povray", "gobmk"},
+      {"omnetpp", "libquantum", "astar", "perlbench"},
+  };
+  util::TextTable agreement({"mix", "100%", "50%", "25%", "12.5%", "agree with unsampled?"});
+  for (const auto& mix : mixes) {
+    std::vector<std::string> row = {mix[0] + "/" + mix[1] + "/.."};
+    std::string reference;
+    bool all_agree = true;
+    for (const unsigned shift : {0u, 1u, 2u, 3u}) {
+      core::PipelineConfig config = bench::default_pipeline();
+      config.machine.hierarchy.signature.sample_shift = shift;
+      core::SymbioticScheduler pipeline(config);
+      const std::string key = pipeline.choose_allocation(mix).key();
+      if (shift == 0) reference = key;
+      all_agree = all_agree && key == reference;
+      row.push_back(key);
+    }
+    row.push_back(all_agree ? "yes" : "NO");
+    agreement.add_row(row);
+  }
+  agreement.print();
+  std::printf(
+      "\nExpected shape (paper): 25%% sampling leaves the chosen schedules unchanged\n"
+      "while cutting the hardware overhead 4x (8.5%% -> 2.13%%).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cachesim/cache.hpp"
+
+#include <cassert>
+
+namespace symbiosis::cachesim {
+
+Cache::Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t requestors,
+             std::uint64_t seed)
+    : geom_(geometry),
+      policy_(make_replacement(replacement, geometry.sets(), geometry.ways, seed)),
+      lines_(geometry.lines()),
+      per_requestor_(requestors) {
+  geom_.validate();
+}
+
+AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
+  assert(requestor < per_requestor_.size());
+  AccessResult result;
+  const std::size_t set = geom_.set_of(line);
+  const std::uint64_t tag = geom_.tag_of(line);
+  result.set = set;
+
+  ++total_.accesses;
+  ++per_requestor_[requestor].accesses;
+
+  // Hit path.
+  for (std::size_t w = 0; w < geom_.ways; ++w) {
+    Line& entry = line_at(set, w);
+    if (entry.valid && entry.tag == tag) {
+      result.hit = true;
+      result.way = w;
+      entry.dirty = entry.dirty || is_write;
+      policy_->on_touch(set, w);
+      ++total_.hits;
+      ++per_requestor_[requestor].hits;
+      return result;
+    }
+  }
+
+  // Miss: fill into an invalid way if any, else evict the policy's victim.
+  ++total_.misses;
+  ++per_requestor_[requestor].misses;
+
+  std::size_t way = geom_.ways;  // sentinel
+  for (std::size_t w = 0; w < geom_.ways; ++w) {
+    if (!line_at(set, w).valid) {
+      way = w;
+      break;
+    }
+  }
+  if (way == geom_.ways) {
+    way = policy_->victim(set);
+    Line& victim = line_at(set, way);
+    result.evicted = true;
+    result.victim_line = (victim.tag << geom_.set_bits()) | set;
+    result.victim_dirty = victim.dirty;
+    ++total_.evictions;
+    ++per_requestor_[victim.owner].evictions;
+    if (victim.dirty) {
+      ++total_.writebacks;
+      ++per_requestor_[victim.owner].writebacks;
+    }
+  }
+
+  Line& entry = line_at(set, way);
+  entry.tag = tag;
+  entry.valid = true;
+  entry.dirty = is_write;
+  entry.owner = requestor;
+  policy_->on_fill(set, way);
+  result.way = way;
+  return result;
+}
+
+bool Cache::probe(LineAddr line) const noexcept {
+  const std::size_t set = geom_.set_of(line);
+  const std::uint64_t tag = geom_.tag_of(line);
+  for (std::size_t w = 0; w < geom_.ways; ++w) {
+    const Line& entry = line_at(set, w);
+    if (entry.valid && entry.tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(LineAddr line) noexcept {
+  const std::size_t set = geom_.set_of(line);
+  const std::uint64_t tag = geom_.tag_of(line);
+  for (std::size_t w = 0; w < geom_.ways; ++w) {
+    Line& entry = line_at(set, w);
+    if (entry.valid && entry.tag == tag) {
+      entry.valid = false;
+      entry.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Cache::occupancy(std::size_t requestor) const noexcept {
+  std::size_t count = 0;
+  for (const Line& entry : lines_) {
+    if (entry.valid && (requestor == kAnyRequestor || entry.owner == requestor)) ++count;
+  }
+  return count;
+}
+
+void Cache::reset() noexcept {
+  for (auto& entry : lines_) entry = Line{};
+  policy_->reset();
+  reset_stats();
+}
+
+void Cache::reset_stats() noexcept {
+  total_.reset();
+  for (auto& s : per_requestor_) s.reset();
+}
+
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,97 @@
+// cache.hpp — a single set-associative cache level.
+//
+// Models tags only (no data), in the style of Simics' g-cache: enough to
+// decide hits, choose victims, and notify listeners of fills/evictions so
+// the signature hardware (sig::FilterUnit) can shadow the cache's state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cachesim/addr.hpp"
+#include "cachesim/replacement.hpp"
+
+namespace symbiosis::cachesim {
+
+/// Outcome of one cache access.
+struct AccessResult {
+  bool hit = false;
+  std::size_t set = 0;
+  std::size_t way = 0;          ///< way hit or filled
+  bool evicted = false;         ///< a valid line was displaced by the fill
+  LineAddr victim_line = 0;     ///< line address of the displaced line
+  bool victim_dirty = false;
+};
+
+/// Aggregate counters for one cache, overall and per requestor.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+  }
+  void reset() noexcept { *this = CacheStats{}; }
+};
+
+/// Tag-array set-associative cache with pluggable replacement.
+class Cache {
+ public:
+  /// @param requestors number of distinct requestor ids (cores) for stats
+  Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t requestors = 1,
+        std::uint64_t seed = 1);
+
+  /// Access one line. On a miss the line is filled immediately (allocate on
+  /// read AND write) and any displaced victim is reported in the result.
+  AccessResult access(LineAddr line, bool is_write, std::size_t requestor = 0);
+
+  /// Tag lookup without perturbing replacement state or stats.
+  [[nodiscard]] bool probe(LineAddr line) const noexcept;
+
+  /// Invalidate a line if present; returns true if it was found.
+  /// Does not count as an eviction (used for inclusion enforcement).
+  bool invalidate(LineAddr line) noexcept;
+
+  /// Occupied lines (valid entries) — true footprint ground truth for the
+  /// Fig 2/5 experiment, counted per requestor when @p requestor != npos.
+  [[nodiscard]] std::size_t occupancy(std::size_t requestor = kAnyRequestor) const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return total_; }
+  [[nodiscard]] const CacheStats& stats_for(std::size_t requestor) const {
+    return per_requestor_.at(requestor);
+  }
+  void reset_stats() noexcept;
+
+  static constexpr std::size_t kAnyRequestor = static_cast<std::size_t>(-1);
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::size_t owner = 0;  ///< requestor that last filled the line
+  };
+
+  [[nodiscard]] Line& line_at(std::size_t set, std::size_t way) noexcept {
+    return lines_[set * geom_.ways + way];
+  }
+  [[nodiscard]] const Line& line_at(std::size_t set, std::size_t way) const noexcept {
+    return lines_[set * geom_.ways + way];
+  }
+
+  CacheGeometry geom_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Line> lines_;
+  CacheStats total_;
+  std::vector<CacheStats> per_requestor_;
+};
+
+}  // namespace symbiosis::cachesim

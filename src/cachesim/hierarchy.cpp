@@ -1,0 +1,127 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace symbiosis::cachesim {
+
+Hierarchy::Hierarchy(HierarchyConfig config) : config_(config) {
+  if (config_.num_cores == 0) throw std::invalid_argument("Hierarchy: num_cores must be > 0");
+  config_.l1.validate();
+  config_.l2.validate();
+  if (config_.l1.line_bytes != config_.l2.line_bytes) {
+    throw std::invalid_argument("Hierarchy: L1 and L2 must share a line size");
+  }
+
+  l1_.reserve(config_.num_cores);
+  tlb_.reserve(config_.num_cores);
+  for (std::size_t c = 0; c < config_.num_cores; ++c) {
+    l1_.push_back(std::make_unique<Cache>(config_.l1, config_.l1_replacement, 1,
+                                          config_.seed + 101 * c));
+    tlb_.push_back(std::make_unique<Tlb>(config_.tlb_entries));
+  }
+
+  stream_.resize(config_.num_cores);
+  const std::size_t l2_count = config_.shared_l2 ? 1 : config_.num_cores;
+  l2_.reserve(l2_count);
+  for (std::size_t i = 0; i < l2_count; ++i) {
+    l2_.push_back(std::make_unique<Cache>(config_.l2, config_.l2_replacement,
+                                          config_.num_cores, config_.seed + 977 * i));
+  }
+
+  if (config_.signature.enabled && config_.shared_l2) {
+    sig::FilterUnitConfig fc;
+    fc.num_cores = config_.num_cores;
+    fc.cache_sets = config_.l2.sets();
+    fc.cache_ways = config_.l2.ways;
+    fc.counter_bits = config_.signature.counter_bits;
+    fc.hash_functions = config_.signature.hash_functions;
+    fc.hash = config_.signature.hash;
+    fc.sample_shift = config_.signature.sample_shift;
+    filter_.emplace(fc);
+  }
+}
+
+MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
+  assert(core < config_.num_cores);
+  MemAccessResult result;
+  const LineAddr line = config_.l1.line_of(addr);
+
+  result.tlb_hit = tlb_[core]->access(addr);
+  if (!result.tlb_hit) result.cycles += config_.latency.tlb_miss;
+
+  // Stream detection (stride prefetcher model): two consecutive accesses
+  // with the same short line stride mark the core as streaming; its L2
+  // misses then cost latency.stream_miss instead of full memory latency.
+  StreamState& ss = stream_[core];
+  const auto stride = static_cast<std::int64_t>(line) - static_cast<std::int64_t>(ss.last_line);
+  const bool streaming =
+      ss.valid && stride == ss.last_stride && stride != 0 && stride >= -8 && stride <= 8;
+  ss.last_stride = stride;
+  ss.last_line = line;
+  ss.valid = true;
+
+  const AccessResult l1r = l1_[core]->access(line, is_write, 0);
+  result.cycles += config_.latency.l1_hit;
+  if (l1r.hit) {
+    result.l1_hit = true;
+    return result;
+  }
+  // L1 victims are silently dropped: writeback traffic does not perturb L2
+  // replacement state in this model (inclusion already guarantees presence).
+
+  Cache& l2 = config_.shared_l2 ? *l2_.front() : *l2_[core];
+  const AccessResult l2r = l2.access(line, is_write, core);
+  result.cycles += config_.latency.l2_hit;
+  if (l2r.hit) {
+    result.l2_hit = true;
+    return result;
+  }
+  if (streaming) {
+    result.stream_prefetched = true;
+    result.cycles += config_.latency.stream_miss;
+  } else {
+    result.cycles += config_.latency.memory;
+  }
+
+  if (l2r.evicted) {
+    // Enforce L1 ⊆ L2 inclusion: the displaced line may not linger in any L1.
+    if (config_.shared_l2) {
+      for (auto& l1 : l1_) l1->invalidate(l2r.victim_line);
+    } else {
+      l1_[core]->invalidate(l2r.victim_line);
+    }
+    if (filter_) {
+      filter_->on_evict(l2r.victim_line, l2r.set, l2r.way);
+    }
+  }
+  if (filter_) {
+    filter_->on_fill(line, core, l2r.set, l2r.way);
+  }
+  return result;
+}
+
+void Hierarchy::on_context_switch_in(std::size_t core) {
+  flush_tlb(core);
+  if (filter_) filter_->snapshot(core);
+}
+
+void Hierarchy::flush_tlb(std::size_t core) { tlb_.at(core)->flush(); }
+
+std::size_t Hierarchy::l2_footprint(std::size_t core) const {
+  const Cache& l2 = config_.shared_l2 ? *l2_.front() : *l2_[core];
+  return l2.occupancy(config_.shared_l2 ? core : Cache::kAnyRequestor);
+}
+
+void Hierarchy::reset() {
+  for (auto& l1 : l1_) l1->reset();
+  for (auto& l2 : l2_) l2->reset();
+  for (auto& tlb : tlb_) {
+    tlb->flush();
+    tlb->reset_stats();
+  }
+  if (filter_) filter_->reset();
+  for (auto& ss : stream_) ss = StreamState{};
+}
+
+}  // namespace symbiosis::cachesim

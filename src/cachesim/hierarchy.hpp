@@ -1,0 +1,121 @@
+// hierarchy.hpp — per-core L1s above a shared (or per-core private) L2.
+//
+// This is the substrate standing in for Simics + g-cache: it decides
+// hit/miss at each level, charges a simple additive latency, enforces
+// L1⊆L2 inclusion, and drives the sig::FilterUnit on every L2 fill and
+// replacement. Two configurations mirror the paper's testbeds:
+//   * shared L2  — Intel Core 2 Duo (4MB 16-way shared), the main machine;
+//   * private L2 — P4 Xeon SMP (2MB 8-way per processor), Fig 3(a).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cachesim/addr.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/tlb.hpp"
+#include "sig/filter_unit.hpp"
+
+namespace symbiosis::cachesim {
+
+/// Additive access latencies in core cycles.
+struct LatencyModel {
+  std::uint32_t l1_hit = 3;
+  std::uint32_t l2_hit = 14;
+  std::uint32_t memory = 200;
+  /// Effective cost of an L2 miss inside a detected stream: the stride
+  /// prefetcher / MLP overlaps most of the memory latency, which is what
+  /// lets real streaming programs (libquantum, hmmer) churn the shared L2
+  /// fast enough to hurt co-runners.
+  std::uint32_t stream_miss = 22;
+  std::uint32_t tlb_miss = 30;
+};
+
+/// Signature-hardware knobs (geometry comes from the L2).
+struct SignatureConfig {
+  bool enabled = true;
+  unsigned counter_bits = 3;
+  unsigned hash_functions = 1;
+  sig::HashKind hash = sig::HashKind::Xor;
+  unsigned sample_shift = 0;  ///< 2 = the paper's 25% set sampling
+};
+
+struct HierarchyConfig {
+  std::size_t num_cores = 2;
+  CacheGeometry l1{8 * 1024, 8, 64};
+  CacheGeometry l2{256 * 1024, 16, 64};
+  bool shared_l2 = true;
+  ReplacementKind l1_replacement = ReplacementKind::Lru;
+  ReplacementKind l2_replacement = ReplacementKind::Lru;
+  LatencyModel latency{};
+  SignatureConfig signature{};
+  std::size_t tlb_entries = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one memory access through the hierarchy.
+struct MemAccessResult {
+  std::uint32_t cycles = 0;
+  bool l1_hit = false;
+  bool l2_hit = false;
+  bool tlb_hit = false;
+  bool stream_prefetched = false;  ///< L2 miss served at stream_miss cost
+};
+
+/// The memory hierarchy of one simulated machine.
+class Hierarchy {
+ public:
+  explicit Hierarchy(HierarchyConfig config);
+
+  /// One load/store by @p core at byte address @p addr.
+  MemAccessResult access(std::size_t core, Addr addr, bool is_write);
+
+  /// Context-switch hooks forwarded to TLB and signature hardware.
+  void on_context_switch_in(std::size_t core);
+  void flush_tlb(std::size_t core);
+
+  [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_cores() const noexcept { return config_.num_cores; }
+
+  /// Signature unit; nullptr when disabled or when the L2 is private.
+  [[nodiscard]] sig::FilterUnit* filter() noexcept { return filter_ ? &*filter_ : nullptr; }
+  [[nodiscard]] const sig::FilterUnit* filter() const noexcept {
+    return filter_ ? &*filter_ : nullptr;
+  }
+
+  [[nodiscard]] Cache& l1(std::size_t core) { return *l1_.at(core); }
+  /// Shared mode: the single L2. Private mode: core's own L2.
+  [[nodiscard]] Cache& l2(std::size_t core = 0) {
+    return config_.shared_l2 ? *l2_.front() : *l2_.at(core);
+  }
+  [[nodiscard]] const Cache& l2(std::size_t core = 0) const {
+    return config_.shared_l2 ? *l2_.front() : *l2_.at(core);
+  }
+  [[nodiscard]] Tlb& tlb(std::size_t core) { return *tlb_.at(core); }
+
+  /// Ground-truth L2 footprint of @p core (valid lines it owns); the
+  /// Fig 2/5 reference series.
+  [[nodiscard]] std::size_t l2_footprint(std::size_t core) const;
+
+  /// Clear all caches, TLBs, filters and stats.
+  void reset();
+
+ private:
+  HierarchyConfig config_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;   // size 1 (shared) or num_cores
+  std::vector<std::unique_ptr<Tlb>> tlb_;
+  std::optional<sig::FilterUnit> filter_;
+
+  /// Per-core stream detector state (last line + last stride, in lines).
+  struct StreamState {
+    LineAddr last_line = 0;
+    std::int64_t last_stride = 0;
+    bool valid = false;
+  };
+  std::vector<StreamState> stream_;
+};
+
+}  // namespace symbiosis::cachesim

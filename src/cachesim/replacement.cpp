@@ -1,0 +1,183 @@
+#include "cachesim/replacement.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace symbiosis::cachesim {
+
+std::string to_string(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::Lru: return "lru";
+    case ReplacementKind::Fifo: return "fifo";
+    case ReplacementKind::Random: return "random";
+    case ReplacementKind::TreePlru: return "tree-plru";
+  }
+  return "?";
+}
+
+ReplacementKind parse_replacement(const std::string& name) {
+  if (name == "lru") return ReplacementKind::Lru;
+  if (name == "fifo") return ReplacementKind::Fifo;
+  if (name == "random") return ReplacementKind::Random;
+  if (name == "tree-plru") return ReplacementKind::TreePlru;
+  throw std::invalid_argument("unknown replacement policy: " + name);
+}
+
+namespace {
+
+/// True LRU via a monotone 64-bit timestamp per line.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::size_t sets, std::size_t ways)
+      : ways_(ways), stamp_(sets * ways, 0) {}
+
+  void on_touch(std::size_t set, std::size_t way) noexcept override {
+    stamp_[set * ways_ + way] = ++clock_;
+  }
+  void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
+
+  std::size_t victim(std::size_t set) noexcept override {
+    std::size_t best = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t w = 0; w < ways_; ++w) {
+      const std::uint64_t s = stamp_[set * ways_ + w];
+      if (s < oldest) {
+        oldest = s;
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  void reset() noexcept override {
+    std::fill(stamp_.begin(), stamp_.end(), std::uint64_t{0});
+    clock_ = 0;
+  }
+
+ private:
+  std::size_t ways_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+/// FIFO: victim is the oldest FILL (hits do not refresh).
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  FifoPolicy(std::size_t sets, std::size_t ways)
+      : ways_(ways), stamp_(sets * ways, 0) {}
+
+  void on_touch(std::size_t, std::size_t) noexcept override {}
+  void on_fill(std::size_t set, std::size_t way) noexcept override {
+    stamp_[set * ways_ + way] = ++clock_;
+  }
+
+  std::size_t victim(std::size_t set) noexcept override {
+    std::size_t best = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t w = 0; w < ways_; ++w) {
+      const std::uint64_t s = stamp_[set * ways_ + w];
+      if (s < oldest) {
+        oldest = s;
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  void reset() noexcept override {
+    std::fill(stamp_.begin(), stamp_.end(), std::uint64_t{0});
+    clock_ = 0;
+  }
+
+ private:
+  std::size_t ways_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::size_t ways, std::uint64_t seed) : ways_(ways), rng_(seed) {}
+
+  void on_touch(std::size_t, std::size_t) noexcept override {}
+  void on_fill(std::size_t, std::size_t) noexcept override {}
+  std::size_t victim(std::size_t) noexcept override {
+    return static_cast<std::size_t>(rng_.next_below(ways_));
+  }
+  void reset() noexcept override {}
+
+ private:
+  std::size_t ways_;
+  util::Rng rng_;
+};
+
+/// Tree pseudo-LRU: a binary decision tree of (ways-1) bits per set.
+/// Requires power-of-two associativity.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::size_t sets, std::size_t ways)
+      : ways_(ways), tree_(sets * (ways > 1 ? ways - 1 : 1), 0) {
+    if (ways == 0 || (ways & (ways - 1)) != 0) {
+      throw std::invalid_argument("TreePlru requires power-of-two associativity");
+    }
+  }
+
+  void on_touch(std::size_t set, std::size_t way) noexcept override {
+    // Walk from the root toward the leaf, pointing each node AWAY from way.
+    std::uint8_t* nodes = &tree_[set * (ways_ - 1)];
+    std::size_t node = 0;
+    std::size_t lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (way < mid) {
+        nodes[node] = 1;  // next victim search goes right
+        node = 2 * node + 1;
+        hi = mid;
+      } else {
+        nodes[node] = 0;  // next victim search goes left
+        node = 2 * node + 2;
+        lo = mid;
+      }
+    }
+  }
+
+  void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
+
+  std::size_t victim(std::size_t set) noexcept override {
+    const std::uint8_t* nodes = &tree_[set * (ways_ - 1)];
+    std::size_t node = 0;
+    std::size_t lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (nodes[node] == 0) {
+        node = 2 * node + 1;
+        hi = mid;
+      } else {
+        node = 2 * node + 2;
+        lo = mid;
+      }
+    }
+    return lo;
+  }
+
+  void reset() noexcept override { std::fill(tree_.begin(), tree_.end(), std::uint8_t{0}); }
+
+ private:
+  std::size_t ways_;
+  std::vector<std::uint8_t> tree_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind, std::size_t sets,
+                                                    std::size_t ways, std::uint64_t seed) {
+  switch (kind) {
+    case ReplacementKind::Lru: return std::make_unique<LruPolicy>(sets, ways);
+    case ReplacementKind::Fifo: return std::make_unique<FifoPolicy>(sets, ways);
+    case ReplacementKind::Random: return std::make_unique<RandomPolicy>(ways, seed);
+    case ReplacementKind::TreePlru: return std::make_unique<TreePlruPolicy>(sets, ways);
+  }
+  throw std::invalid_argument("make_replacement: bad kind");
+}
+
+}  // namespace symbiosis::cachesim

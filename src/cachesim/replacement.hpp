@@ -1,0 +1,45 @@
+// replacement.hpp — victim-selection policies for set-associative caches.
+//
+// The paper's L2 is modelled after the Core 2 Duo's (effectively LRU-like);
+// the other policies exist for tests and sensitivity studies, and because
+// the signature hardware must be replacement-agnostic (§6 stresses that the
+// scheme does not modify the cache's normal operation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace symbiosis::cachesim {
+
+enum class ReplacementKind { Lru, Fifo, Random, TreePlru };
+
+[[nodiscard]] std::string to_string(ReplacementKind kind);
+[[nodiscard]] ReplacementKind parse_replacement(const std::string& name);
+
+/// Per-set replacement state machine. One instance serves the whole cache;
+/// set/way coordinates are passed in.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Called on every hit or fill touch of (set, way).
+  virtual void on_touch(std::size_t set, std::size_t way) noexcept = 0;
+  /// Called when (set, way) receives a brand-new line.
+  virtual void on_fill(std::size_t set, std::size_t way) noexcept = 0;
+  /// Choose the victim way within @p set (all ways valid).
+  [[nodiscard]] virtual std::size_t victim(std::size_t set) noexcept = 0;
+  /// Drop all state.
+  virtual void reset() noexcept = 0;
+};
+
+/// Factory. @p seed only matters for Random.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                                  std::size_t sets,
+                                                                  std::size_t ways,
+                                                                  std::uint64_t seed = 1);
+
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,45 @@
+#include "cachesim/tlb.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace symbiosis::cachesim {
+
+Tlb::Tlb(std::size_t entries, std::size_t page_bytes)
+    : page_bytes_(page_bytes),
+      page_bits_(util::floor_log2(page_bytes)),
+      slots_(entries) {
+  if (entries == 0) throw std::invalid_argument("Tlb: entries must be > 0");
+  if (!util::is_pow2(page_bytes)) throw std::invalid_argument("Tlb: page size must be pow2");
+}
+
+bool Tlb::access(std::uint64_t addr) noexcept {
+  const std::uint64_t page = addr >> page_bits_;
+  ++clock_;
+  Slot* lru = &slots_[0];
+  for (auto& slot : slots_) {
+    if (slot.valid && slot.page == page) {
+      slot.stamp = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!slot.valid) {
+      lru = &slot;
+    } else if (lru->valid && slot.stamp < lru->stamp) {
+      lru = &slot;
+    }
+  }
+  ++misses_;
+  lru->page = page;
+  lru->stamp = clock_;
+  lru->valid = true;
+  return false;
+}
+
+void Tlb::flush() noexcept {
+  for (auto& slot : slots_) slot.valid = false;
+}
+
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,48 @@
+// tlb.hpp — small fully-associative TLB model.
+//
+// Exists for the §2.2 motivation experiment: TLB misses are one of the
+// event-based performance counters the paper shows do NOT track cache
+// footprint. Flushed on context switch (no ASIDs, like the era's x86).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace symbiosis::cachesim {
+
+/// Fully-associative, true-LRU TLB over virtual page numbers.
+class Tlb {
+ public:
+  /// @param entries    TLB capacity
+  /// @param page_bytes page size (power of two), default 4 KiB
+  explicit Tlb(std::size_t entries = 64, std::size_t page_bytes = 4096);
+
+  /// Translate the page containing @p addr; returns true on a TLB hit.
+  bool access(std::uint64_t addr) noexcept;
+
+  /// Context-switch flush.
+  void flush() noexcept;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  void reset_stats() noexcept { hits_ = misses_ = 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t page_bytes() const noexcept { return page_bytes_; }
+
+ private:
+  struct Slot {
+    std::uint64_t page = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  std::size_t page_bytes_;
+  unsigned page_bits_;
+  std::vector<Slot> slots_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,21 @@
+#include "core/overheads.hpp"
+
+#include <cstdio>
+
+namespace symbiosis::core {
+
+std::string software_cost_summary(std::size_t num_cores, std::size_t filter_entries,
+                                  std::uint64_t allocator_period_cycles) {
+  char buf[512];
+  const double rbv_kb = static_cast<double>(filter_entries) / 8.0 / 1024.0;
+  std::snprintf(
+      buf, sizeof buf,
+      "per-process OS context: (2+%zu) x 32-bit words; RBV transfer per context switch: "
+      "%.2f KB x %zu cores; allocator invoked every %llu cycles (graph build + solve is "
+      "O(P^2) over tens of processes, i.e. hundreds of instructions)",
+      num_cores, rbv_kb, num_cores,
+      static_cast<unsigned long long>(allocator_period_cycles));
+  return std::string(buf);
+}
+
+}  // namespace symbiosis::core

@@ -1,0 +1,122 @@
+#include "sched/allocation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace symbiosis::sched {
+
+std::vector<std::size_t> Allocation::members(std::size_t group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < group_of.size(); ++i) {
+    if (group_of[i] == group) out.push_back(i);
+  }
+  return out;
+}
+
+Allocation Allocation::canonical() const {
+  Allocation out;
+  out.groups = groups;
+  out.group_of.resize(group_of.size());
+  std::vector<std::size_t> relabel(groups, static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < group_of.size(); ++i) {
+    auto& label = relabel.at(group_of[i]);
+    if (label == static_cast<std::size_t>(-1)) label = next++;
+    out.group_of[i] = label;
+  }
+  return out;
+}
+
+std::string Allocation::key() const {
+  const Allocation canon = canonical();
+  std::string out;
+  for (std::size_t i = 0; i < canon.group_of.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(canon.group_of[i]);
+  }
+  return out;
+}
+
+std::string Allocation::describe(const std::vector<std::string>& names) const {
+  std::string out = "{";
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g) out += " | ";
+    bool first = true;
+    for (std::size_t i = 0; i < group_of.size(); ++i) {
+      if (group_of[i] != g) continue;
+      if (!first) out += ",";
+      out += i < names.size() ? names[i] : std::to_string(i);
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool Allocation::operator==(const Allocation& other) const noexcept {
+  if (group_of.size() != other.group_of.size() || groups != other.groups) return false;
+  return canonical().group_of == other.canonical().group_of;
+}
+
+std::vector<std::size_t> balanced_group_sizes(std::size_t tasks, std::size_t groups) {
+  if (groups == 0 || tasks < groups) {
+    throw std::invalid_argument("balanced_group_sizes: need tasks >= groups >= 1");
+  }
+  std::vector<std::size_t> sizes(groups, tasks / groups);
+  for (std::size_t i = 0; i < tasks % groups; ++i) ++sizes[i];
+  return sizes;
+}
+
+namespace {
+
+void enumerate_rec(std::size_t task, std::vector<std::size_t>& assignment,
+                   std::vector<std::size_t>& remaining, std::vector<Allocation>& out) {
+  const std::size_t tasks = assignment.size();
+  const std::size_t groups = remaining.size();
+  if (task == tasks) {
+    Allocation alloc;
+    alloc.group_of = assignment;
+    alloc.groups = groups;
+    out.push_back(alloc.canonical());
+    return;
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (remaining[g] == 0) continue;
+    assignment[task] = g;
+    --remaining[g];
+    enumerate_rec(task + 1, assignment, remaining, out);
+    ++remaining[g];
+  }
+}
+
+}  // namespace
+
+std::vector<Allocation> enumerate_balanced_allocations(std::size_t tasks, std::size_t groups) {
+  auto sizes = balanced_group_sizes(tasks, groups);
+  // Multinomial guard: this enumeration is meant for the paper's small
+  // mixes (e.g. 4 tasks / 2 cores → 3 mappings), not for bulk search.
+  double combos = 1.0;
+  std::size_t left = tasks;
+  for (const auto s : sizes) {
+    for (std::size_t i = 0; i < s; ++i) combos *= static_cast<double>(left--) /
+                                                  static_cast<double>(i + 1);
+  }
+  if (combos > 2e6) {
+    throw std::invalid_argument("enumerate_balanced_allocations: too many mappings");
+  }
+  std::vector<std::size_t> assignment(tasks, 0);
+  std::vector<Allocation> out;
+  enumerate_rec(0, assignment, sizes, out);
+  // Group labels are interchangeable; identical schedules canonicalize
+  // equal — dedupe them.
+  std::sort(out.begin(), out.end(),
+            [](const Allocation& a, const Allocation& b) { return a.group_of < b.group_of; });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Allocation& a, const Allocation& b) {
+                          return a.group_of == b.group_of;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace symbiosis::sched

@@ -1,0 +1,50 @@
+// allocation.hpp — process→core-group assignments and their enumeration.
+//
+// An Allocation maps each task to a group; tasks in the same group get the
+// same affinity bits, i.e. the OS runs them on the same core (§3.2). Group
+// labels are interchangeable (running {A,B} on core 0 and {C,D} on core 1
+// is the same schedule as the converse), so comparisons and vote counting
+// go through a canonical relabelling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symbiosis::sched {
+
+/// Task→group assignment. groups == number of cores being filled.
+struct Allocation {
+  std::vector<std::size_t> group_of;  ///< indexed by task position
+  std::size_t groups = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return group_of.size(); }
+
+  /// Members of @p group, in task order.
+  [[nodiscard]] std::vector<std::size_t> members(std::size_t group) const;
+
+  /// Canonical form: groups renumbered by first appearance. Two allocations
+  /// describing the same schedule canonicalize identically.
+  [[nodiscard]] Allocation canonical() const;
+
+  /// Compact printable key, e.g. "0,0,1,1" (canonicalized) — used for
+  /// majority voting across allocator invocations (§4.1).
+  [[nodiscard]] std::string key() const;
+
+  /// Human-readable, e.g. "{A,D | B,C}" given task names.
+  [[nodiscard]] std::string describe(const std::vector<std::string>& names) const;
+
+  [[nodiscard]] bool operator==(const Allocation& other) const noexcept;
+};
+
+/// All distinct ways to split @p tasks tasks into @p groups balanced groups
+/// (sizes differ by at most one; e.g. 4 tasks / 2 groups → 3 mappings, the
+/// paper's Table 1 enumeration). Throws if tasks < groups.
+[[nodiscard]] std::vector<Allocation> enumerate_balanced_allocations(std::size_t tasks,
+                                                                     std::size_t groups);
+
+/// Group sizes for a balanced split (larger groups first).
+[[nodiscard]] std::vector<std::size_t> balanced_group_sizes(std::size_t tasks,
+                                                            std::size_t groups);
+
+}  // namespace symbiosis::sched

@@ -1,0 +1,31 @@
+#include "sched/weight_sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace symbiosis::sched {
+
+Allocation WeightSortAllocator::allocate(const std::vector<TaskProfile>& profiles,
+                                         std::size_t groups) {
+  if (groups == 0) throw std::invalid_argument("WeightSortAllocator: groups must be > 0");
+  const std::size_t n = profiles.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return profiles[a].occupancy_weight > profiles[b].occupancy_weight;
+  });
+
+  // Group size ⌈P/N⌉ (§3.3.1); the final group may be smaller.
+  const std::size_t group_size = (n + groups - 1) / groups;
+  Allocation alloc;
+  alloc.groups = groups;
+  alloc.group_of.assign(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    alloc.group_of[order[rank]] = std::min(rank / group_size, groups - 1);
+  }
+  return alloc;
+}
+
+}  // namespace symbiosis::sched

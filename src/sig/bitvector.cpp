@@ -1,0 +1,92 @@
+#include "sig/bitvector.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace symbiosis::sig {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+BitVector::BitVector(std::size_t bits) : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+void BitVector::set(std::size_t i) noexcept {
+  assert(i < bits_);
+  words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVector::clear(std::size_t i) noexcept {
+  assert(i < bits_);
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool BitVector::test(std::size_t i) const noexcept {
+  assert(i < bits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::reset() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVector::xor_popcount(const BitVector& other) const noexcept {
+  assert(bits_ == other.bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t BitVector::and_popcount(const BitVector& other) const noexcept {
+  assert(bits_ == other.bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+void BitVector::assign_and_not(const BitVector& a, const BitVector& b) noexcept {
+  assert(bits_ == a.bits_ && bits_ == b.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & ~b.words_[i];
+  }
+}
+
+void BitVector::assign(const BitVector& other) noexcept {
+  assert(bits_ == other.bits_);
+  words_ = other.words_;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) noexcept {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) noexcept {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) noexcept {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+double BitVector::fill_ratio() const noexcept {
+  if (bits_ == 0) return 0.0;
+  return static_cast<double>(popcount()) / static_cast<double>(bits_);
+}
+
+}  // namespace symbiosis::sig

@@ -1,0 +1,31 @@
+#include "sig/bloom.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace symbiosis::sig {
+
+BloomFilter::BloomFilter(std::size_t entries, unsigned k, HashKind kind)
+    : hash_(kind, entries), k_(k), bits_(entries) {
+  if (k == 0) throw std::invalid_argument("BloomFilter: k must be >= 1");
+}
+
+void BloomFilter::insert(LineAddr line) noexcept {
+  for (unsigned i = 0; i < k_; ++i) bits_.set(hash_.index_k(line, i));
+}
+
+bool BloomFilter::maybe_contains(LineAddr line) const noexcept {
+  for (unsigned i = 0; i < k_; ++i) {
+    if (!bits_.test(hash_.index_k(line, i))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::theoretical_fpp(std::size_t inserted) const noexcept {
+  const double m = static_cast<double>(entries());
+  const double n = static_cast<double>(inserted);
+  const double k = static_cast<double>(k_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace symbiosis::sig

@@ -1,0 +1,48 @@
+// bloom.hpp — classic (non-counting) Bloom filter.
+//
+// §2.4 background structure: k hash functions over a 2^m bit vector, no
+// deletion. Kept as a reference implementation for tests and for the
+// multi-hash saturation ablation (the paper argues k = 1 is the right
+// choice for small filters; bench_fig14 measures why).
+#pragma once
+
+#include <cstddef>
+
+#include "sig/bitvector.hpp"
+#include "sig/hash.hpp"
+
+namespace symbiosis::sig {
+
+/// Classic Bloom filter with k derived hash functions.
+class BloomFilter {
+ public:
+  /// @param entries  bit-vector size (power of two for XOR-family hashes)
+  /// @param k        number of hash functions (>= 1)
+  /// @param kind     index hash family
+  BloomFilter(std::size_t entries, unsigned k, HashKind kind = HashKind::Xor);
+
+  /// Insert a line address (sets k bits).
+  void insert(LineAddr line) noexcept;
+
+  /// Query: false = definitely not present (true miss); true = maybe present.
+  [[nodiscard]] bool maybe_contains(LineAddr line) const noexcept;
+
+  /// Remove all entries.
+  void reset() noexcept { bits_.reset(); }
+
+  [[nodiscard]] std::size_t entries() const noexcept { return bits_.size(); }
+  [[nodiscard]] unsigned hash_count() const noexcept { return k_; }
+  [[nodiscard]] std::size_t ones() const noexcept { return bits_.popcount(); }
+  [[nodiscard]] double fill_ratio() const noexcept { return bits_.fill_ratio(); }
+
+  /// Theoretical false-positive probability after @p inserted distinct keys:
+  /// (1 - e^{-k n / m})^k.
+  [[nodiscard]] double theoretical_fpp(std::size_t inserted) const noexcept;
+
+ private:
+  IndexHash hash_;
+  unsigned k_;
+  BitVector bits_;
+};
+
+}  // namespace symbiosis::sig

@@ -1,0 +1,83 @@
+#include "sig/counting_bloom.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace symbiosis::sig {
+
+namespace {
+constexpr unsigned kMaxHashes = 8;
+}
+
+CountingBloomFilter::CountingBloomFilter(std::size_t entries, unsigned counter_bits, unsigned k,
+                                         HashKind kind)
+    : hash_(kind, entries),
+      counter_bits_(counter_bits),
+      k_(k),
+      max_value_(static_cast<std::uint16_t>((1u << counter_bits) - 1)),
+      counters_(entries, 0) {
+  if (counter_bits == 0 || counter_bits > 16) {
+    throw std::invalid_argument("CountingBloomFilter: counter_bits must be in [1, 16]");
+  }
+  if (k == 0 || k > kMaxHashes) {
+    throw std::invalid_argument("CountingBloomFilter: k must be in [1, 8]");
+  }
+}
+
+unsigned CountingBloomFilter::distinct_indices(LineAddr line, std::size_t* out) const noexcept {
+  unsigned n = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t idx = hash_.index_k(line, i);
+    bool duplicate = false;
+    for (unsigned j = 0; j < n; ++j) {
+      if (out[j] == idx) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out[n++] = idx;
+  }
+  return n;
+}
+
+void CountingBloomFilter::insert(LineAddr line) noexcept {
+  std::size_t idx[kMaxHashes];
+  const unsigned n = distinct_indices(line, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    auto& counter = counters_[idx[i]];
+    if (counter == 0) ++nonzero_;
+    if (counter < max_value_) ++counter;  // saturate, never wrap
+  }
+}
+
+void CountingBloomFilter::remove(LineAddr line) noexcept {
+  std::size_t idx[kMaxHashes];
+  const unsigned n = distinct_indices(line, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    auto& counter = counters_[idx[i]];
+    if (counter == 0 || counter == max_value_) continue;  // underflow / stuck-at-max
+    --counter;
+    if (counter == 0) --nonzero_;
+  }
+}
+
+bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
+  std::size_t idx[kMaxHashes];
+  const unsigned n = distinct_indices(line, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    if (counters_[idx[i]] == 0) return false;
+  }
+  return true;
+}
+
+void CountingBloomFilter::reset() noexcept {
+  std::fill(counters_.begin(), counters_.end(), std::uint16_t{0});
+  nonzero_ = 0;
+}
+
+std::size_t CountingBloomFilter::saturated_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(counters_.begin(), counters_.end(), max_value_));
+}
+
+}  // namespace symbiosis::sig

@@ -1,0 +1,70 @@
+// counting_bloom.hpp — Counting Bloom Filter (CBF) with L-bit counters.
+//
+// §2.4: the CBF replaces the Bloom filter's bits with small saturating
+// counters so entries can be deleted when cache lines are evicted. The
+// paper's hardware uses 3-bit counters (§5.4) and increments/decrements a
+// counter only once per address even when multiple hash functions collide
+// on the same index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sig/hash.hpp"
+
+namespace symbiosis::sig {
+
+/// Counting Bloom filter over line addresses.
+class CountingBloomFilter {
+ public:
+  /// @param entries       counter-array size
+  /// @param counter_bits  counter width L (1..16); counters saturate at
+  ///                      2^L - 1 instead of wrapping
+  /// @param k             number of hash functions (>= 1; paper uses 1)
+  /// @param kind          index hash family
+  CountingBloomFilter(std::size_t entries, unsigned counter_bits, unsigned k = 1,
+                      HashKind kind = HashKind::Xor);
+
+  /// Record an address entering the set (cache fill). Each distinct index
+  /// among the k hashes is incremented once (saturating).
+  void insert(LineAddr line) noexcept;
+
+  /// Record an address leaving the set (cache eviction). Each distinct index
+  /// is decremented once; decrementing a zero or saturated counter is a
+  /// no-op (a saturated counter has lost its exact count and can never be
+  /// safely decremented — this models the hardware's stuck-at-max policy).
+  void remove(LineAddr line) noexcept;
+
+  /// Query: false = true miss (definitely absent); true = inconclusive.
+  [[nodiscard]] bool maybe_contains(LineAddr line) const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t entries() const noexcept { return counters_.size(); }
+  [[nodiscard]] unsigned counter_bits() const noexcept { return counter_bits_; }
+  [[nodiscard]] unsigned hash_count() const noexcept { return k_; }
+
+  /// Number of non-zero counters (the CBF "occupancy weight" analogue).
+  [[nodiscard]] std::size_t nonzero_count() const noexcept { return nonzero_; }
+
+  /// Number of counters pinned at the saturation value (diagnostics; a
+  /// correctly provisioned L per footnote 1 keeps this at zero).
+  [[nodiscard]] std::size_t saturated_count() const noexcept;
+
+  [[nodiscard]] std::uint16_t counter_at(std::size_t i) const { return counters_.at(i); }
+
+ private:
+  /// Collect the distinct indices of the k hashes for @p line into @p out
+  /// (size <= k); returns the count.
+  unsigned distinct_indices(LineAddr line, std::size_t* out) const noexcept;
+
+  IndexHash hash_;
+  unsigned counter_bits_;
+  unsigned k_;
+  std::uint16_t max_value_;
+  std::vector<std::uint16_t> counters_;
+  std::size_t nonzero_ = 0;
+};
+
+}  // namespace symbiosis::sig

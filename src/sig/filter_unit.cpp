@@ -1,0 +1,125 @@
+#include "sig/filter_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace symbiosis::sig {
+
+FilterUnit::FilterUnit(FilterUnitConfig config)
+    : config_(config),
+      presence_mode_(config.hash == HashKind::Presence),
+      counter_max_(static_cast<std::uint16_t>((1u << config.counter_bits) - 1)),
+      counters_(config.entries(), 0) {
+  if (config.num_cores == 0) throw std::invalid_argument("FilterUnit: num_cores must be > 0");
+  if (!util::is_pow2(config.cache_sets)) {
+    throw std::invalid_argument("FilterUnit: cache_sets must be a power of two");
+  }
+  if (config.counter_bits == 0 || config.counter_bits > 16) {
+    throw std::invalid_argument("FilterUnit: counter_bits must be in [1, 16]");
+  }
+  if ((config.cache_sets >> config.sample_shift) == 0) {
+    throw std::invalid_argument("FilterUnit: sample_shift leaves no sampled sets");
+  }
+  if (config.hash_functions == 0 || config.hash_functions > kMaxHashFunctions) {
+    throw std::invalid_argument("FilterUnit: hash_functions must be in [1, 8]");
+  }
+  if (!presence_mode_) {
+    hash_.emplace(config.hash, config.entries());
+  }
+  cf_.assign(config.num_cores, BitVector(config.entries()));
+  lf_.assign(config.num_cores, BitVector(config.entries()));
+}
+
+unsigned FilterUnit::indices_of(LineAddr line, std::size_t set, std::size_t way,
+                                std::size_t* out) const noexcept {
+  if (!config_.sampled(set)) return 0;
+  if (presence_mode_) {
+    // Positional: one bit per sampled physical cache line.
+    out[0] = (set >> config_.sample_shift) * config_.cache_ways + way;
+    return 1;
+  }
+  // k derived hashes; duplicates are collapsed so a counter moves at most
+  // once per event (§2.4's rule). The paper uses k = 1; larger k exists for
+  // the Fig 14 saturation ablation.
+  unsigned n = 0;
+  for (unsigned k = 0; k < config_.hash_functions; ++k) {
+    const std::size_t idx = hash_->index_k(line, k);
+    bool duplicate = false;
+    for (unsigned j = 0; j < n; ++j) {
+      if (out[j] == idx) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out[n++] = idx;
+  }
+  return n;
+}
+
+void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
+                         std::size_t way) noexcept {
+  assert(core < cf_.size());
+  std::size_t idx[kMaxHashFunctions];
+  const unsigned n = indices_of(line, set, way, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    auto& counter = counters_[idx[i]];
+    if (counter < counter_max_) ++counter;  // saturate, never wrap
+    cf_[core].set(idx[i]);
+  }
+}
+
+void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexcept {
+  std::size_t idx[kMaxHashFunctions];
+  const unsigned n = indices_of(line, set, way, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    auto& counter = counters_[idx[i]];
+    if (counter == 0 || counter == counter_max_) continue;  // underflow / stuck-at-max
+    if (--counter == 0) {
+      // §3.1: when the shared counter drains, the index is cleared in EVERY
+      // core filter — the line(s) that set those bits are all gone.
+      for (auto& cf : cf_) cf.clear(idx[i]);
+    }
+  }
+}
+
+void FilterUnit::snapshot(std::size_t core) noexcept {
+  assert(core < cf_.size());
+  lf_[core].assign(cf_[core]);
+}
+
+BitVector FilterUnit::compute_rbv(std::size_t core) const {
+  BitVector rbv(counters_.size());
+  rbv.assign_and_not(cf_.at(core), lf_.at(core));
+  return rbv;
+}
+
+std::size_t FilterUnit::symbiosis(const BitVector& rbv, std::size_t other_core) const noexcept {
+  assert(other_core < cf_.size());
+  return rbv.xor_popcount(cf_[other_core]);
+}
+
+std::size_t FilterUnit::self_symbiosis(const BitVector& rbv, std::size_t core) const noexcept {
+  assert(core < lf_.size());
+  return rbv.xor_popcount(lf_[core]);
+}
+
+std::size_t FilterUnit::core_filter_weight(std::size_t core) const noexcept {
+  assert(core < cf_.size());
+  return cf_[core].popcount();
+}
+
+void FilterUnit::reset() noexcept {
+  std::fill(counters_.begin(), counters_.end(), std::uint16_t{0});
+  for (auto& cf : cf_) cf.reset();
+  for (auto& lf : lf_) lf.reset();
+}
+
+std::size_t FilterUnit::saturated_counters() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(counters_.begin(), counters_.end(), counter_max_));
+}
+
+}  // namespace symbiosis::sig

@@ -1,0 +1,90 @@
+#include "sig/hash.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace symbiosis::sig {
+
+using util::bits;
+using util::floor_log2;
+using util::is_pow2;
+using util::low_mask;
+using util::reverse_bits;
+
+std::string to_string(HashKind kind) {
+  switch (kind) {
+    case HashKind::Xor: return "xor";
+    case HashKind::XorInverseReverse: return "xor-inv-rev";
+    case HashKind::Modulo: return "modulo";
+    case HashKind::Presence: return "presence";
+    case HashKind::Multiply: return "multiply";
+  }
+  return "?";
+}
+
+HashKind parse_hash_kind(const std::string& name) {
+  if (name == "xor") return HashKind::Xor;
+  if (name == "xor-inv-rev") return HashKind::XorInverseReverse;
+  if (name == "modulo") return HashKind::Modulo;
+  if (name == "presence") return HashKind::Presence;
+  if (name == "multiply") return HashKind::Multiply;
+  throw std::invalid_argument("unknown hash kind: " + name);
+}
+
+IndexHash::IndexHash(HashKind kind, std::size_t entries)
+    : kind_(kind), entries_(entries), index_bits_(floor_log2(entries | 1)) {
+  if (entries == 0) throw std::invalid_argument("IndexHash: entries must be > 0");
+  const bool needs_pow2 = kind == HashKind::Xor || kind == HashKind::XorInverseReverse ||
+                          kind == HashKind::Multiply;
+  if (needs_pow2 && !is_pow2(entries)) {
+    throw std::invalid_argument("IndexHash: " + to_string(kind) +
+                                " requires a power-of-two entry count");
+  }
+  if (kind == HashKind::Presence) {
+    throw std::invalid_argument(
+        "IndexHash: presence bits are positional (set/way), not an address hash; "
+        "configure the filter unit with HashKind::Presence instead");
+  }
+}
+
+std::size_t IndexHash::index(LineAddr line) const noexcept {
+  switch (kind_) {
+    case HashKind::Xor: {
+      // Fold the line address into index_bits_-wide chunks and XOR them.
+      std::uint64_t acc = 0;
+      for (unsigned lo = 0; lo < 64; lo += index_bits_) {
+        acc ^= bits(line, lo, index_bits_);
+      }
+      return static_cast<std::size_t>(acc & low_mask(index_bits_));
+    }
+    case HashKind::XorInverseReverse: {
+      std::uint64_t acc = 0;
+      for (unsigned lo = 0; lo < 64; lo += index_bits_) {
+        acc ^= bits(line, lo, index_bits_);
+      }
+      acc = ~acc & low_mask(index_bits_);
+      return static_cast<std::size_t>(reverse_bits(acc, index_bits_));
+    }
+    case HashKind::Modulo:
+      return static_cast<std::size_t>(line % entries_);
+    case HashKind::Multiply: {
+      const std::uint64_t mixed = line * 0x9e3779b97f4a7c15ull;
+      return static_cast<std::size_t>(mixed >> (64 - index_bits_));
+    }
+    case HashKind::Presence:
+      return 0;  // unreachable: rejected in the constructor
+  }
+  return 0;
+}
+
+std::size_t IndexHash::index_k(LineAddr line, unsigned k) const noexcept {
+  if (k == 0) return index(line);
+  // Pre-mix with a per-function odd constant so the k functions differ; the
+  // mixing is cheap XOR/shift only, keeping the hardware-cost argument valid.
+  const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (2ull * k + 1ull);
+  const LineAddr mixed = line ^ (salt >> 13) ^ (line << (k % 7 + 1));
+  return index(mixed);
+}
+
+}  // namespace symbiosis::sig

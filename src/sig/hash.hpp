@@ -1,0 +1,62 @@
+// hash.hpp — the Bloom-filter index hash functions evaluated in the paper.
+//
+// §5.3 compares four hardware-friendly hash functions for mapping a cache
+// block address to a Bloom-filter index:
+//   * XOR            — fold the block address into index-width chunks, XOR.
+//   * XOR inv/rev    — XOR fold, then bitwise invert and bit-reverse.
+//   * Modulo         — block address mod filter size.
+//   * Presence bits  — no hash at all: a 1:1 bit per physical cache line
+//                      (handled by the signature unit via (set, way), see
+//                      sig/filter_unit.hpp), included here only as an enum.
+// A multiplicative mixer is included as a software-quality reference point
+// for tests (it is NOT hardware-cheap and the paper does not use it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace symbiosis::sig {
+
+/// Cache-line (block) address: byte address >> line_bits.
+using LineAddr = std::uint64_t;
+
+enum class HashKind {
+  Xor,                ///< XOR-fold of index-width chunks (paper default)
+  XorInverseReverse,  ///< XOR-fold, then invert + bit-reverse
+  Modulo,             ///< line address modulo filter entries
+  Presence,           ///< 1:1 presence bit per cache line (positional, no hash)
+  Multiply,           ///< Fibonacci multiplicative mixing (software reference)
+};
+
+/// Human-readable name ("xor", "xor-inv-rev", "modulo", "presence", "multiply").
+[[nodiscard]] std::string to_string(HashKind kind);
+
+/// Parse a hash name; throws std::invalid_argument on unknown names.
+[[nodiscard]] HashKind parse_hash_kind(const std::string& name);
+
+/// Stateless Bloom index hash over line addresses.
+///
+/// `entries` must be a power of two for Xor/XorInverseReverse/Multiply
+/// (the fold width is log2(entries)); Modulo accepts any entries > 0.
+class IndexHash {
+ public:
+  IndexHash(HashKind kind, std::size_t entries);
+
+  /// Map a line address to an index in [0, entries).
+  [[nodiscard]] std::size_t index(LineAddr line) const noexcept;
+
+  /// Derive the i-th independent hash (for multi-hash Bloom filters):
+  /// the line address is pre-mixed with a per-function odd constant.
+  [[nodiscard]] std::size_t index_k(LineAddr line, unsigned k) const noexcept;
+
+  [[nodiscard]] HashKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  [[nodiscard]] unsigned index_bits() const noexcept { return index_bits_; }
+
+ private:
+  HashKind kind_;
+  std::size_t entries_;
+  unsigned index_bits_;
+};
+
+}  // namespace symbiosis::sig

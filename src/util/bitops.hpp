@@ -1,0 +1,55 @@
+// bitops.hpp — small bit-manipulation helpers shared across the library.
+//
+// The signature hardware (src/sig) is essentially a pile of bit-vectors, so
+// popcount / power-of-two / bit-reversal helpers live here in one place.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace symbiosis::util {
+
+/// Number of set bits in a 64-bit word.
+[[nodiscard]] constexpr int popcount64(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// True when @p x is a power of two (and non-zero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x | 1ull));
+}
+
+/// Smallest power of two >= x (x must be <= 2^63).
+[[nodiscard]] constexpr std::uint64_t round_up_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << (64u - static_cast<unsigned>(std::countl_zero(x - 1)));
+}
+
+/// Reverse the low @p width bits of @p x (the rest are discarded).
+/// Used by the "XOR inverse reverse" Bloom-filter hash of the paper (§5.3).
+[[nodiscard]] constexpr std::uint64_t reverse_bits(std::uint64_t x, unsigned width) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+/// Extract bits [lo, lo+width) of @p x as an unsigned value.
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t x, unsigned lo, unsigned width) noexcept {
+  if (width >= 64) return x >> lo;
+  return (x >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Mask with the low @p width bits set.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned width) noexcept {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+}  // namespace symbiosis::util

@@ -1,0 +1,64 @@
+// cli.hpp — small declarative command-line parser for examples and benches.
+//
+// Usage:
+//   ArgParser args("quickstart", "Run the symbiotic scheduling quickstart");
+//   auto& seed  = args.add_u64("seed", "RNG seed", 42);
+//   auto& algo  = args.add_string("algo", "weight|graph|weighted", "weighted");
+//   auto& quiet = args.add_flag("quiet", "suppress progress logging");
+//   if (!args.parse(argc, argv)) return 1;   // prints help / error itself
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace symbiosis::util {
+
+/// Declarative --key=value / --key value / --flag parser.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register options; the returned reference stays valid for the parser's
+  /// lifetime and holds the parsed (or default) value after parse().
+  std::string& add_string(std::string name, std::string help, std::string default_value);
+  std::int64_t& add_i64(std::string name, std::string help, std::int64_t default_value);
+  std::uint64_t& add_u64(std::string name, std::string help, std::uint64_t default_value);
+  double& add_double(std::string name, std::string help, double default_value);
+  bool& add_flag(std::string name, std::string help);
+
+  /// Parse argv. On "--help" prints usage and returns false; on a malformed
+  /// or unknown argument prints an error plus usage and returns false.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { String, I64, U64, Double, Flag };
+  struct Option {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::string default_text;
+    // Owned storage; one of these is active depending on kind.
+    std::unique_ptr<std::string> s;
+    std::unique_ptr<std::int64_t> i;
+    std::unique_ptr<std::uint64_t> u;
+    std::unique_ptr<double> d;
+    std::unique_ptr<bool> b;
+  };
+
+  Option* find(const std::string& name);
+  [[nodiscard]] bool assign(Option& opt, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Option>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace symbiosis::util

@@ -1,0 +1,36 @@
+// csv.hpp — minimal CSV emission for experiment results.
+//
+// Benches optionally dump their raw series next to the printed table so the
+// paper's figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace symbiosis::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens @p path for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; cells containing commas/quotes/newlines are quoted.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  /// Flush and close early (also done by the destructor).
+  void close();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace symbiosis::util

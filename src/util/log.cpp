@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace symbiosis::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace symbiosis::util

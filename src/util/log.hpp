@@ -1,0 +1,30 @@
+// log.hpp — tiny leveled logger.
+//
+// Experiments log progress at Info; inner simulator loops log nothing unless
+// Debug/Trace is enabled, so logging never perturbs timing-sensitive benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace symbiosis::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are dropped. Default: Info.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> Info.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name) noexcept;
+
+/// printf-style logging; appends a newline.
+void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define SYMBIOSIS_LOG_TRACE(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Trace, __VA_ARGS__)
+#define SYMBIOSIS_LOG_DEBUG(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Debug, __VA_ARGS__)
+#define SYMBIOSIS_LOG_INFO(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Info, __VA_ARGS__)
+#define SYMBIOSIS_LOG_WARN(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Warn, __VA_ARGS__)
+#define SYMBIOSIS_LOG_ERROR(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace symbiosis::util

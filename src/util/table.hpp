@@ -1,0 +1,43 @@
+// table.hpp — aligned ASCII table rendering for bench/experiment output.
+//
+// Every paper table/figure bench prints its rows through this so the output
+// is diffable and resembles the paper's presentation.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace symbiosis::util {
+
+/// Column-aligned text table. Columns are sized to their widest cell.
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Replace the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row of already-formatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with @p precision digits after the point.
+  static std::string fmt(double v, int precision = 2);
+  /// Convenience: format a ratio as a percentage string ("12.3%").
+  static std::string pct(double ratio, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a separator line under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace symbiosis::util

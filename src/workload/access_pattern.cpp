@@ -1,0 +1,225 @@
+#include "workload/access_pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace symbiosis::workload {
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::Sequential: return "sequential";
+    case PatternKind::Strided: return "strided";
+    case PatternKind::Random: return "random";
+    case PatternKind::Zipf: return "zipf";
+    case PatternKind::PointerChase: return "pointer-chase";
+    case PatternKind::Stream: return "stream";
+    case PatternKind::StackDistance: return "stack-distance";
+  }
+  return "?";
+}
+
+PatternKind parse_pattern(const std::string& name) {
+  if (name == "sequential") return PatternKind::Sequential;
+  if (name == "strided") return PatternKind::Strided;
+  if (name == "random") return PatternKind::Random;
+  if (name == "zipf") return PatternKind::Zipf;
+  if (name == "pointer-chase") return PatternKind::PointerChase;
+  if (name == "stream") return PatternKind::Stream;
+  if (name == "stack-distance") return PatternKind::StackDistance;
+  throw std::invalid_argument("unknown pattern: " + name);
+}
+
+namespace {
+
+/// Common plumbing: region in lines, base address, spec storage.
+class PatternBase : public AccessPattern {
+ public:
+  PatternBase(const PatternSpec& spec, Addr base) : spec_(spec), base_(base) {
+    if (spec.region_bytes < spec.line_bytes) {
+      throw std::invalid_argument("pattern region smaller than one line");
+    }
+    if (spec.line_bytes == 0 || (spec.line_bytes & (spec.line_bytes - 1)) != 0) {
+      throw std::invalid_argument("pattern line size must be a power of two");
+    }
+    lines_ = spec.region_bytes / spec.line_bytes;
+  }
+
+  [[nodiscard]] const PatternSpec& spec() const override { return spec_; }
+
+ protected:
+  [[nodiscard]] Addr addr_of_line(std::uint64_t line_index) const noexcept {
+    return base_ + line_index * spec_.line_bytes;
+  }
+
+  PatternSpec spec_;
+  Addr base_;
+  std::uint64_t lines_ = 0;
+};
+
+class SequentialPattern final : public PatternBase {
+ public:
+  using PatternBase::PatternBase;
+  Addr next(util::Rng&) override {
+    const Addr a = addr_of_line(pos_);
+    pos_ = (pos_ + 1) % lines_;
+    return a;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::uint64_t pos_ = 0;
+};
+
+class StridedPattern final : public PatternBase {
+ public:
+  StridedPattern(const PatternSpec& spec, Addr base) : PatternBase(spec, base) {
+    stride_lines_ = std::max<std::uint64_t>(1, spec.stride_bytes / spec.line_bytes);
+  }
+  Addr next(util::Rng&) override {
+    const Addr a = addr_of_line(pos_);
+    pos_ += stride_lines_;
+    if (pos_ >= lines_) pos_ %= lines_;  // wrap, revisiting the same line set
+    return a;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::uint64_t stride_lines_ = 1;
+  std::uint64_t pos_ = 0;
+};
+
+class RandomPattern final : public PatternBase {
+ public:
+  using PatternBase::PatternBase;
+  Addr next(util::Rng& rng) override { return addr_of_line(rng.next_below(lines_)); }
+  void reset() override {}
+};
+
+class ZipfPattern final : public PatternBase {
+ public:
+  ZipfPattern(const PatternSpec& spec, Addr base, util::Rng& rng)
+      : PatternBase(spec, base), sampler_(lines_, spec.zipf_skew) {
+    // Scatter popularity ranks over the region so the hot lines are not
+    // physically contiguous (they would otherwise map to few cache sets).
+    perm_.resize(lines_);
+    std::iota(perm_.begin(), perm_.end(), std::uint64_t{0});
+    rng.shuffle(perm_);
+  }
+  Addr next(util::Rng& rng) override { return addr_of_line(perm_[sampler_.sample(rng)]); }
+  void reset() override {}
+
+ private:
+  util::ZipfSampler sampler_;
+  std::vector<std::uint64_t> perm_;
+};
+
+/// Dependent walk of one random Hamiltonian cycle over the region's lines.
+/// Every line is visited once per lap (full footprint) but in an order that
+/// defeats spatial prefetch-like locality — the mcf access class.
+class PointerChasePattern final : public PatternBase {
+ public:
+  PointerChasePattern(const PatternSpec& spec, Addr base, util::Rng& rng)
+      : PatternBase(spec, base) {
+    // Sattolo's algorithm: a uniform random single-cycle permutation.
+    next_.resize(lines_);
+    std::vector<std::uint64_t> order(lines_);
+    std::iota(order.begin(), order.end(), std::uint64_t{0});
+    rng.shuffle(order);
+    for (std::uint64_t i = 0; i + 1 < lines_; ++i) next_[order[i]] = order[i + 1];
+    if (lines_ > 0) next_[order[lines_ - 1]] = order[0];
+    pos_ = order.empty() ? 0 : order[0];
+    start_ = pos_;
+  }
+  Addr next(util::Rng&) override {
+    const Addr a = addr_of_line(pos_);
+    pos_ = next_[pos_];
+    return a;
+  }
+  void reset() override { pos_ = start_; }
+
+ private:
+  std::vector<std::uint64_t> next_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// Sequential scan of a region so large relative to the cache that lines
+/// are evicted before reuse: a pure bandwidth stream.
+class StreamPattern final : public PatternBase {
+ public:
+  using PatternBase::PatternBase;
+  Addr next(util::Rng&) override {
+    const Addr a = addr_of_line(pos_);
+    pos_ = (pos_ + 1) % lines_;
+    return a;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::uint64_t pos_ = 0;
+};
+
+/// Temporal-locality generator: with probability `locality` reuse a recent
+/// line (LRU-stack depth drawn geometrically), otherwise touch the next new
+/// line. Gives a smooth knob between cache-friendly and cache-hostile.
+class StackDistancePattern final : public PatternBase {
+ public:
+  StackDistancePattern(const PatternSpec& spec, Addr base) : PatternBase(spec, base) {
+    stack_.reserve(std::min<std::uint64_t>(lines_, 4096));
+  }
+
+  Addr next(util::Rng& rng) override {
+    if (!stack_.empty() && rng.next_bool(spec_.locality)) {
+      // Geometric depth: depth k with P ~ (1-p)^k; mean controlled by the
+      // stack fraction we want hot. Use p = 8/stack size for a hot head.
+      const double p = std::min(1.0, 8.0 / static_cast<double>(stack_.size()));
+      auto depth = static_cast<std::size_t>(rng.next_exponential(p));
+      depth = std::min(depth, stack_.size() - 1);
+      const std::uint64_t line = stack_[stack_.size() - 1 - depth];
+      touch(line);
+      return addr_of_line(line);
+    }
+    const std::uint64_t line = frontier_;
+    frontier_ = (frontier_ + 1) % lines_;
+    touch(line);
+    return addr_of_line(line);
+  }
+
+  void reset() override {
+    stack_.clear();
+    frontier_ = 0;
+  }
+
+ private:
+  void touch(std::uint64_t line) {
+    // Move-to-top LRU stack, bounded at 512 entries. Searching from the hot
+    // end keeps the expected cost tiny (reuses are geometric in depth).
+    const auto rit = std::find(stack_.rbegin(), stack_.rend(), line);
+    if (rit != stack_.rend()) stack_.erase(std::next(rit).base());
+    stack_.push_back(line);
+    if (stack_.size() > 512) stack_.erase(stack_.begin());
+  }
+
+  std::vector<std::uint64_t> stack_;
+  std::uint64_t frontier_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessPattern> make_pattern(const PatternSpec& spec, Addr base, util::Rng& rng) {
+  assert(base % spec.line_bytes == 0);
+  switch (spec.kind) {
+    case PatternKind::Sequential: return std::make_unique<SequentialPattern>(spec, base);
+    case PatternKind::Strided: return std::make_unique<StridedPattern>(spec, base);
+    case PatternKind::Random: return std::make_unique<RandomPattern>(spec, base);
+    case PatternKind::Zipf: return std::make_unique<ZipfPattern>(spec, base, rng);
+    case PatternKind::PointerChase: return std::make_unique<PointerChasePattern>(spec, base, rng);
+    case PatternKind::Stream: return std::make_unique<StreamPattern>(spec, base);
+    case PatternKind::StackDistance: return std::make_unique<StackDistancePattern>(spec, base);
+  }
+  throw std::invalid_argument("make_pattern: bad kind");
+}
+
+}  // namespace symbiosis::workload

@@ -1,0 +1,63 @@
+// access_pattern.hpp — composable synthetic memory-reference generators.
+//
+// We do not have SPEC CPU2006 / PARSEC binaries or traces, so workloads are
+// synthesised from a small algebra of address patterns whose cache behaviour
+// classes match the programs the paper uses: strided scans, uniform random,
+// Zipf-skewed hot sets, dependent pointer chases, pure streams, and a
+// stack-distance-driven generator for tunable temporal locality. A pattern
+// produces LINE-granular addresses inside [base, base + region); the
+// benchmark layer adds compute gaps and write ratios (benchmark_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cachesim/addr.hpp"
+#include "util/rng.hpp"
+
+namespace symbiosis::workload {
+
+using cachesim::Addr;
+
+enum class PatternKind {
+  Sequential,    ///< byte-sequential scan, wraps at region end
+  Strided,       ///< fixed stride scan, wraps (Fig 1's conjured patterns)
+  Random,        ///< uniform random line within the region
+  Zipf,          ///< Zipf-skewed line popularity (hot working set)
+  PointerChase,  ///< dependent walk of a random Hamiltonian cycle (mcf-like)
+  Stream,        ///< sequential with negligible reuse (libquantum/hmmer-like)
+  StackDistance, ///< reuse distances drawn from a geometric distribution
+};
+
+[[nodiscard]] std::string to_string(PatternKind kind);
+[[nodiscard]] PatternKind parse_pattern(const std::string& name);
+
+/// Declarative description of one pattern (value type, cheap to copy).
+struct PatternSpec {
+  PatternKind kind = PatternKind::Random;
+  std::uint64_t region_bytes = 64 * 1024;
+  std::uint64_t stride_bytes = 64;   ///< Strided only
+  double zipf_skew = 0.9;            ///< Zipf only
+  double locality = 0.9;             ///< StackDistance: P(reuse) per access
+  std::uint64_t line_bytes = 64;
+};
+
+/// A live pattern instance bound to a base address and an RNG stream.
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+  /// Next byte address (line-aligned).
+  [[nodiscard]] virtual Addr next(util::Rng& rng) = 0;
+  /// Restart from the initial state.
+  virtual void reset() = 0;
+  [[nodiscard]] virtual const PatternSpec& spec() const = 0;
+};
+
+/// Instantiate a pattern at @p base (line-aligned). @p rng seeds any
+/// internal randomized construction (e.g. the pointer-chase permutation).
+[[nodiscard]] std::unique_ptr<AccessPattern> make_pattern(const PatternSpec& spec, Addr base,
+                                                          util::Rng& rng);
+
+}  // namespace symbiosis::workload

@@ -1,0 +1,92 @@
+#include "workload/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace symbiosis::workload {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'Y', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct PackedRecord {
+  std::uint64_t addr;
+  std::uint32_t compute_instr;
+  std::uint8_t is_write;
+} __attribute__((packed));
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  std::uint64_t zero = 0;
+  if (std::fwrite(kMagic, 1, 4, file_) != 4 ||
+      std::fwrite(&kVersion, sizeof kVersion, 1, file_) != 1 ||
+      std::fwrite(&zero, sizeof zero, 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceWriter: header write failed for " + path);
+  }
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(const Step& step) {
+  if (!file_) throw std::runtime_error("TraceWriter: appending after close");
+  const PackedRecord rec{step.addr, step.compute_instr, step.is_write ? std::uint8_t{1}
+                                                                      : std::uint8_t{0}};
+  if (std::fwrite(&rec, sizeof rec, 1, file_) != 1) {
+    throw std::runtime_error("TraceWriter: write failed for " + path_);
+  }
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (!file_) return;
+  // Patch the record count into the header.
+  std::fseek(file_, 8, SEEK_SET);
+  std::fwrite(&count_, sizeof count_, 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+std::vector<Step> read_trace(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) throw std::runtime_error("read_trace: cannot open " + path);
+
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (std::fread(magic, 1, 4, file) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
+      std::fread(&version, sizeof version, 1, file) != 1 || version != kVersion ||
+      std::fread(&count, sizeof count, 1, file) != 1) {
+    std::fclose(file);
+    throw std::runtime_error("read_trace: bad header in " + path);
+  }
+
+  std::vector<Step> steps;
+  steps.reserve(count);
+  PackedRecord rec;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (std::fread(&rec, sizeof rec, 1, file) != 1) {
+      std::fclose(file);
+      throw std::runtime_error("read_trace: truncated trace " + path);
+    }
+    steps.push_back(Step{rec.compute_instr, rec.addr, rec.is_write != 0});
+  }
+  std::fclose(file);
+  return steps;
+}
+
+TraceStream::TraceStream(std::string name, std::vector<Step> steps)
+    : name_(std::move(name)), steps_(std::move(steps)) {
+  if (steps_.empty()) throw std::invalid_argument("TraceStream: empty trace");
+}
+
+Step TraceStream::next() {
+  if (pos_ >= steps_.size()) return steps_.back();
+  return steps_[pos_++];
+}
+
+}  // namespace symbiosis::workload

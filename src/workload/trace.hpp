@@ -1,0 +1,62 @@
+// trace.hpp — capture and replay of reference streams.
+//
+// The emulation phase can record the exact Step stream a workload produced
+// and replay it later (deterministic A/B comparisons across signature
+// configurations, and a path for plugging in externally captured traces).
+// Binary format: "SYMT" magic, u32 version, u64 record count, then packed
+// {u64 addr, u32 compute_instr, u8 is_write} records, little-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark_model.hpp"
+
+namespace symbiosis::workload {
+
+/// Write a trace file; throws std::runtime_error on I/O failure.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const Step& step);
+  /// Finalize the header (record count) and close. Idempotent.
+  void close();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::string path_;
+  FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+};
+
+/// Load a whole trace into memory; throws std::runtime_error on bad files.
+[[nodiscard]] std::vector<Step> read_trace(const std::string& path);
+
+/// A TaskStream replaying a recorded step sequence. The stream reports
+/// complete() after one pass; restart() rewinds (the machine layer uses
+/// that for the paper's run-until-longest-finishes semantics).
+class TraceStream final : public TaskStream {
+ public:
+  TraceStream(std::string name, std::vector<Step> steps);
+
+  [[nodiscard]] Step next() override;
+  [[nodiscard]] bool complete() const override { return pos_ >= steps_.size(); }
+  void restart() override { pos_ = 0; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t refs_issued() const override { return pos_; }
+  [[nodiscard]] std::uint64_t total_refs() const override { return steps_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<Step> steps_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace symbiosis::workload

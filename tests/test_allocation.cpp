@@ -1,0 +1,90 @@
+#include "sched/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace symbiosis::sched {
+namespace {
+
+TEST(Allocation, MembersAndDescribe) {
+  Allocation a;
+  a.groups = 2;
+  a.group_of = {0, 1, 0, 1};
+  EXPECT_EQ(a.members(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(a.members(1), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(a.describe({"A", "B", "C", "D"}), "{A,C | B,D}");
+}
+
+TEST(Allocation, CanonicalRelabelsByFirstAppearance) {
+  Allocation a;
+  a.groups = 2;
+  a.group_of = {1, 0, 1, 0};
+  const Allocation canon = a.canonical();
+  EXPECT_EQ(canon.group_of, (std::vector<std::size_t>{0, 1, 0, 1}));
+  EXPECT_EQ(a.key(), "0,1,0,1");
+}
+
+TEST(Allocation, EqualityUpToRelabeling) {
+  Allocation a, b, c;
+  a.groups = b.groups = c.groups = 2;
+  a.group_of = {0, 0, 1, 1};
+  b.group_of = {1, 1, 0, 0};  // same schedule, swapped labels
+  c.group_of = {0, 1, 0, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(BalancedGroupSizes, SplitsEvenlyWithRemainderFirst) {
+  EXPECT_EQ(balanced_group_sizes(4, 2), (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(balanced_group_sizes(5, 2), (std::vector<std::size_t>{3, 2}));
+  EXPECT_EQ(balanced_group_sizes(7, 3), (std::vector<std::size_t>{3, 2, 2}));
+  EXPECT_THROW(balanced_group_sizes(1, 2), std::invalid_argument);
+  EXPECT_THROW(balanced_group_sizes(4, 0), std::invalid_argument);
+}
+
+TEST(Enumerate, FourTasksTwoGroupsIsThreeMappings) {
+  // The paper's Table 1: "There are only three possible mappings for 4
+  // processes running on a dual-core."
+  const auto all = enumerate_balanced_allocations(4, 2);
+  EXPECT_EQ(all.size(), 3u);
+  std::set<std::string> keys;
+  for (const auto& a : all) keys.insert(a.key());
+  EXPECT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(keys.count("0,0,1,1"));
+  EXPECT_TRUE(keys.count("0,1,0,1"));
+  EXPECT_TRUE(keys.count("0,1,1,0"));
+}
+
+TEST(Enumerate, KnownCounts) {
+  // C(6,3)/2 = 10 ways to halve six tasks.
+  EXPECT_EQ(enumerate_balanced_allocations(6, 2).size(), 10u);
+  // 5 into 3+2: C(5,3) = 10 (unequal halves are distinguishable).
+  EXPECT_EQ(enumerate_balanced_allocations(5, 2).size(), 10u);
+  // 4 into 4 singleton groups: 1 schedule.
+  EXPECT_EQ(enumerate_balanced_allocations(4, 4).size(), 1u);
+  // 4 into 2+1+1: C(4,2) = 6 (the two singleton groups are interchangeable).
+  EXPECT_EQ(enumerate_balanced_allocations(4, 3).size(), 6u);
+  // 8 into 2x4: C(8,4)/2 = 35.
+  EXPECT_EQ(enumerate_balanced_allocations(8, 2).size(), 35u);
+}
+
+TEST(Enumerate, AllResultsAreBalancedAndDistinct) {
+  const auto all = enumerate_balanced_allocations(6, 3);
+  std::set<std::string> keys;
+  for (const auto& a : all) {
+    EXPECT_TRUE(keys.insert(a.key()).second) << "duplicate " << a.key();
+    for (std::size_t g = 0; g < 3; ++g) EXPECT_EQ(a.members(g).size(), 2u);
+  }
+  // 6!/(2!2!2!)/3! = 15.
+  EXPECT_EQ(all.size(), 15u);
+}
+
+TEST(Enumerate, GuardsAgainstExplosion) {
+  EXPECT_THROW(enumerate_balanced_allocations(30, 2), std::invalid_argument);
+  EXPECT_THROW(enumerate_balanced_allocations(2, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symbiosis::sched

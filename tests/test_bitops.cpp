@@ -1,0 +1,65 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symbiosis::util {
+namespace {
+
+TEST(Bitops, Popcount64) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(~0ull), 64);
+  EXPECT_EQ(popcount64(0xf0f0f0f0f0f0f0f0ull), 32);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bitops, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4096), 12u);
+  EXPECT_EQ(floor_log2(~0ull), 63u);
+}
+
+TEST(Bitops, RoundUpPow2) {
+  EXPECT_EQ(round_up_pow2(0), 1ull);
+  EXPECT_EQ(round_up_pow2(1), 1ull);
+  EXPECT_EQ(round_up_pow2(3), 4ull);
+  EXPECT_EQ(round_up_pow2(4), 4ull);
+  EXPECT_EQ(round_up_pow2(4097), 8192ull);
+}
+
+TEST(Bitops, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100ull);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011ull);
+  // Double reversal is the identity for any width.
+  for (unsigned width = 1; width <= 16; ++width) {
+    const std::uint64_t x = 0xdeadbeefcafef00dull & low_mask(width);
+    EXPECT_EQ(reverse_bits(reverse_bits(x, width), width), x) << width;
+  }
+}
+
+TEST(Bitops, BitsExtraction) {
+  EXPECT_EQ(bits(0xff00, 8, 8), 0xffull);
+  EXPECT_EQ(bits(0xff00, 0, 8), 0x00ull);
+  EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+  EXPECT_EQ(bits(~0ull, 60, 64), 0xfull);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(12), 0xfffull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+}  // namespace
+}  // namespace symbiosis::util

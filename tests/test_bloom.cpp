@@ -1,0 +1,158 @@
+#include "sig/bloom.hpp"
+#include "sig/counting_bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace symbiosis::sig {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(4096, 2);
+  util::Rng rng(1);
+  std::vector<LineAddr> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng());
+  for (const auto key : keys) bf.insert(key);
+  for (const auto key : keys) EXPECT_TRUE(bf.maybe_contains(key));
+}
+
+TEST(BloomFilter, TrueMissOnEmpty) {
+  BloomFilter bf(1024, 1);
+  EXPECT_FALSE(bf.maybe_contains(42));
+  EXPECT_EQ(bf.ones(), 0u);
+}
+
+TEST(BloomFilter, FppNearTheory) {
+  BloomFilter bf(4096, 1);
+  util::Rng rng(2);
+  std::set<LineAddr> inserted;
+  while (inserted.size() < 1024) {
+    const LineAddr key = rng();
+    if (inserted.insert(key).second) bf.insert(key);
+  }
+  int false_hits = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    LineAddr probe = rng();
+    while (inserted.count(probe)) probe = rng();
+    false_hits += bf.maybe_contains(probe);
+  }
+  const double measured = static_cast<double>(false_hits) / probes;
+  const double theory = bf.theoretical_fpp(1024);
+  EXPECT_NEAR(measured, theory, 0.05);
+}
+
+TEST(BloomFilter, MoreHashesPolluteFaster) {
+  // §2.4: more hash functions saturate a small filter faster.
+  BloomFilter k1(512, 1), k4(512, 4);
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const LineAddr key = rng();
+    k1.insert(key);
+    k4.insert(key);
+  }
+  EXPECT_GT(k4.fill_ratio(), k1.fill_ratio());
+}
+
+TEST(BloomFilter, ResetClears) {
+  BloomFilter bf(256, 2);
+  bf.insert(7);
+  bf.reset();
+  EXPECT_FALSE(bf.maybe_contains(7));
+}
+
+TEST(BloomFilter, RejectsZeroHashes) {
+  EXPECT_THROW(BloomFilter(256, 0), std::invalid_argument);
+}
+
+TEST(CountingBloom, InsertRemoveRoundTrip) {
+  CountingBloomFilter cbf(1024, 4);
+  cbf.insert(100);
+  EXPECT_TRUE(cbf.maybe_contains(100));
+  EXPECT_EQ(cbf.nonzero_count(), 1u);
+  cbf.remove(100);
+  EXPECT_FALSE(cbf.maybe_contains(100));
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+}
+
+TEST(CountingBloom, NoFalseNegativesUnderChurn) {
+  CountingBloomFilter cbf(4096, 4);
+  util::Rng rng(5);
+  std::vector<LineAddr> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.size() < 500 || rng.next_bool(0.55)) {
+      const LineAddr key = rng();
+      cbf.insert(key);
+      live.push_back(key);
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      cbf.remove(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  for (const auto key : live) EXPECT_TRUE(cbf.maybe_contains(key));
+}
+
+TEST(CountingBloom, RemoveOnZeroIsNoop) {
+  CountingBloomFilter cbf(256, 3);
+  cbf.remove(9);  // must not underflow
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+  cbf.insert(9);
+  EXPECT_TRUE(cbf.maybe_contains(9));
+}
+
+TEST(CountingBloom, SaturatedCounterSticks) {
+  // 1-bit counters saturate at 1: a second insert is absorbed, and the
+  // stuck-at-max rule means removes never clear it (footnote 1: L must be
+  // wide enough — this tests the hardware's safe failure mode).
+  CountingBloomFilter cbf(16, 1, 1, HashKind::Modulo);
+  cbf.insert(3);
+  cbf.insert(3 + 16);  // same counter (modulo 16)
+  EXPECT_EQ(cbf.saturated_count(), 1u);
+  cbf.remove(3);
+  EXPECT_TRUE(cbf.maybe_contains(3));  // stuck at max, still "present"
+  EXPECT_EQ(cbf.saturated_count(), 1u);
+}
+
+TEST(CountingBloom, WideCounterHandlesCollisions) {
+  CountingBloomFilter cbf(16, 4, 1, HashKind::Modulo);
+  cbf.insert(3);
+  cbf.insert(3 + 16);
+  cbf.remove(3);
+  EXPECT_TRUE(cbf.maybe_contains(3 + 16));  // one of the two still present
+  cbf.remove(3 + 16);
+  EXPECT_FALSE(cbf.maybe_contains(3));
+}
+
+TEST(CountingBloom, MultiHashIncrementsOncePerIndex) {
+  // §2.4: "If more than one hash index addresses to the same location for a
+  // given address, the counter is incremented or decremented only once."
+  CountingBloomFilter cbf(64, 4, 4);
+  cbf.insert(77);
+  cbf.remove(77);
+  EXPECT_FALSE(cbf.maybe_contains(77));
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+}
+
+TEST(CountingBloom, Validation) {
+  EXPECT_THROW(CountingBloomFilter(64, 0), std::invalid_argument);
+  EXPECT_THROW(CountingBloomFilter(64, 17), std::invalid_argument);
+  EXPECT_THROW(CountingBloomFilter(64, 3, 0), std::invalid_argument);
+  EXPECT_THROW(CountingBloomFilter(64, 3, 9), std::invalid_argument);
+}
+
+TEST(CountingBloom, ResetClears) {
+  CountingBloomFilter cbf(128, 3);
+  cbf.insert(1);
+  cbf.insert(2);
+  cbf.reset();
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+  EXPECT_FALSE(cbf.maybe_contains(1));
+}
+
+}  // namespace
+}  // namespace symbiosis::sig

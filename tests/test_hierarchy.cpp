@@ -1,0 +1,158 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symbiosis::cachesim {
+namespace {
+
+HierarchyConfig tiny_config() {
+  HierarchyConfig c;
+  c.num_cores = 2;
+  c.l1 = {1024, 2, 64};       // 8 sets x 2 ways
+  c.l2 = {8 * 1024, 4, 64};   // 32 sets x 4 ways
+  c.shared_l2 = true;
+  return c;
+}
+
+TEST(Hierarchy, LatencyAccounting) {
+  Hierarchy h(tiny_config());
+  const auto& lat = tiny_config().latency;
+  // Cold access: TLB miss + L1 + L2 + memory.
+  const auto cold = h.access(0, 0x10000, false);
+  EXPECT_FALSE(cold.l1_hit);
+  EXPECT_FALSE(cold.l2_hit);
+  EXPECT_FALSE(cold.tlb_hit);
+  EXPECT_EQ(cold.cycles, lat.tlb_miss + lat.l1_hit + lat.l2_hit + lat.memory);
+  // Immediate re-access: all hits.
+  const auto warm = h.access(0, 0x10000, false);
+  EXPECT_TRUE(warm.l1_hit);
+  EXPECT_TRUE(warm.tlb_hit);
+  EXPECT_EQ(warm.cycles, lat.l1_hit);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  Hierarchy h(tiny_config());
+  const Addr base = 0;
+  h.access(0, base, false);
+  // Push base out of its 2-way L1 set (same L1 set every 8 lines = 512B).
+  h.access(0, base + 512, false);
+  h.access(0, base + 1024, false);
+  const auto result = h.access(0, base, false);
+  EXPECT_FALSE(result.l1_hit);
+  EXPECT_TRUE(result.l2_hit);
+}
+
+TEST(Hierarchy, InclusionInvalidatesL1OnL2Eviction) {
+  Hierarchy h(tiny_config());
+  const Addr victim = 0;
+  h.access(0, victim, false);
+  // Fill L2 set 0 (4 ways) from the OTHER core: lines every 32 lines = 2KB.
+  for (int i = 1; i <= 4; ++i) h.access(1, victim + i * 2048, false);
+  // victim was evicted from L2; inclusion demands it left core 0's L1 too.
+  const auto result = h.access(0, victim, false);
+  EXPECT_FALSE(result.l1_hit);
+  EXPECT_FALSE(result.l2_hit);
+}
+
+TEST(Hierarchy, StreamDetectionLowersMissCost) {
+  Hierarchy h(tiny_config());
+  const auto& lat = tiny_config().latency;
+  // A long unit-stride scan: after the detector locks (2 strides), L2
+  // misses cost stream_miss.
+  Addr addr = 1 << 20;
+  h.access(0, addr, false);
+  h.access(0, addr + 64, false);
+  const auto third = h.access(0, addr + 128, false);
+  EXPECT_TRUE(third.stream_prefetched);
+  EXPECT_EQ(third.cycles, lat.l1_hit + lat.l2_hit + lat.stream_miss);
+}
+
+TEST(Hierarchy, RandomAccessPaysFullMemoryLatency) {
+  Hierarchy h(tiny_config());
+  // Large irregular strides never trigger the detector.
+  const auto a = h.access(0, 0, false);
+  const auto b = h.access(0, 1 << 18, false);
+  const auto c = h.access(0, 1 << 19, false);
+  EXPECT_FALSE(a.stream_prefetched);
+  EXPECT_FALSE(b.stream_prefetched);
+  EXPECT_FALSE(c.stream_prefetched);
+}
+
+TEST(Hierarchy, FilterUnitSeesL2Fills) {
+  Hierarchy h(tiny_config());
+  ASSERT_NE(h.filter(), nullptr);
+  h.access(0, 0x40000, false);
+  EXPECT_EQ(h.filter()->core_filter_weight(0), 1u);
+  EXPECT_EQ(h.filter()->core_filter_weight(1), 0u);
+  // L1/L2 hits add no new filter bits.
+  h.access(0, 0x40000, false);
+  EXPECT_EQ(h.filter()->core_filter_weight(0), 1u);
+}
+
+TEST(Hierarchy, PrivateL2HasNoFilterAndIsolates) {
+  HierarchyConfig cfg = tiny_config();
+  cfg.shared_l2 = false;
+  Hierarchy h(cfg);
+  EXPECT_EQ(h.filter(), nullptr);
+  // Core 1 filling its own L2 cannot evict core 0's lines.
+  h.access(0, 0, false);
+  for (int i = 1; i <= 8; ++i) h.access(1, i * 2048, false);
+  const auto result = h.access(0, 0, false);
+  EXPECT_TRUE(result.l1_hit || result.l2_hit);
+}
+
+TEST(Hierarchy, SharedL2ContentionAcrossCores) {
+  Hierarchy h(tiny_config());
+  h.access(0, 0, false);
+  for (int i = 1; i <= 4; ++i) h.access(1, i * 2048, false);
+  const auto result = h.access(0, 0, false);
+  EXPECT_FALSE(result.l2_hit);  // core 1 displaced it
+}
+
+TEST(Hierarchy, ContextSwitchFlushesTlbAndSnapshotsLf) {
+  Hierarchy h(tiny_config());
+  h.access(0, 0x1234, false);
+  EXPECT_TRUE(h.access(0, 0x1234, false).tlb_hit);
+  h.on_context_switch_in(0);
+  EXPECT_FALSE(h.access(0, 0x1234, false).tlb_hit);  // TLB flushed
+  // LF snapshot: the pre-switch fill is not "new" for the incoming task.
+  EXPECT_EQ(h.filter()->compute_rbv(0).popcount(), 0u);
+}
+
+TEST(Hierarchy, FootprintGroundTruth) {
+  Hierarchy h(tiny_config());
+  for (int i = 0; i < 10; ++i) h.access(0, i * 64, false);
+  for (int i = 0; i < 3; ++i) h.access(1, (1 << 20) + i * 64, false);
+  EXPECT_EQ(h.l2_footprint(0), 10u);
+  EXPECT_EQ(h.l2_footprint(1), 3u);
+}
+
+TEST(Hierarchy, ResetRestoresCold) {
+  Hierarchy h(tiny_config());
+  h.access(0, 0, false);
+  h.reset();
+  EXPECT_EQ(h.l2_footprint(0), 0u);
+  EXPECT_FALSE(h.access(0, 0, false).l1_hit);
+}
+
+TEST(Hierarchy, Validation) {
+  HierarchyConfig cfg = tiny_config();
+  cfg.num_cores = 0;
+  EXPECT_THROW(Hierarchy{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.l1.line_bytes = 32;  // mismatched line sizes
+  EXPECT_THROW(Hierarchy{cfg}, std::invalid_argument);
+}
+
+TEST(Hierarchy, SignatureSampling25Percent) {
+  HierarchyConfig cfg = tiny_config();
+  cfg.signature.sample_shift = 2;
+  Hierarchy h(cfg);
+  ASSERT_NE(h.filter(), nullptr);
+  EXPECT_EQ(h.filter()->entries(), cfg.l2.lines() / 4);
+}
+
+}  // namespace
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,101 @@
+#include "sched/multithread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symbiosis::sched {
+namespace {
+
+TaskProfile thread_profile(std::size_t index, std::size_t pid, double weight,
+                           std::vector<double> symbiosis = {1000, 1000},
+                           std::size_t last_core = 0) {
+  TaskProfile p;
+  p.task_index = index;
+  p.pid = pid;
+  p.name = "pid" + std::to_string(pid) + ".t" + std::to_string(index);
+  p.occupancy_weight = weight;
+  p.symbiosis_per_core = std::move(symbiosis);
+  p.last_core = last_core;
+  return p;
+}
+
+TEST(MultiThreadPhase1, WeightSortsWithinEachProcess) {
+  // One 4-thread process with weights 40,10,35,5: phase 1 (2 cores) must
+  // pair {40,35} and {10,5}.
+  std::vector<TaskProfile> profiles = {
+      thread_profile(0, 0, 40), thread_profile(1, 0, 10),
+      thread_profile(2, 0, 35), thread_profile(3, 0, 5),
+  };
+  const auto groups = MultiThreadAllocator::phase1_groups(profiles, 2);
+  EXPECT_EQ(groups[0], groups[2]);
+  EXPECT_EQ(groups[1], groups[3]);
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(MultiThreadPhase1, SingleThreadedProcessesUntouched) {
+  std::vector<TaskProfile> profiles = {
+      thread_profile(0, 0, 40),
+      thread_profile(1, 1, 10),
+  };
+  const auto groups = MultiThreadAllocator::phase1_groups(profiles, 2);
+  EXPECT_EQ(groups[0], 0u);
+  EXPECT_EQ(groups[1], 0u);
+}
+
+TEST(MultiThreadAllocator, PinnedPairsStayTogether) {
+  // Two 2-thread processes; thread weights force phase-1 grouping, and the
+  // final cut must respect it regardless of symbiosis noise.
+  std::vector<TaskProfile> profiles = {
+      thread_profile(0, 0, 100, {900, 200}, 0),
+      thread_profile(1, 0, 90, {100, 800}, 1),
+      thread_profile(2, 1, 80, {300, 700}, 0),
+      thread_profile(3, 1, 70, {600, 250}, 1),
+  };
+  const Allocation result = MultiThreadAllocator().allocate(profiles, 2);
+  // With 2 threads per process and 2 cores, phase 1 splits each process's
+  // threads apart (weights differ), so no intra-process pair may share.
+  EXPECT_NE(result.group_of[0], result.group_of[1]);
+  EXPECT_NE(result.group_of[2], result.group_of[3]);
+}
+
+TEST(MultiThreadAllocator, FourThreadProcessSplitsTwoAndTwo) {
+  // One 4-thread process on a dual-core: phase 1 pairs {heavy,heavy} and
+  // {light,light}; the pinned edges must carry that through the MIN-CUT.
+  std::vector<TaskProfile> profiles = {
+      thread_profile(0, 0, 40), thread_profile(1, 0, 10),
+      thread_profile(2, 0, 35), thread_profile(3, 0, 5),
+  };
+  const Allocation result = MultiThreadAllocator().allocate(profiles, 2);
+  EXPECT_EQ(result.group_of[0], result.group_of[2]);
+  EXPECT_EQ(result.group_of[1], result.group_of[3]);
+  EXPECT_NE(result.group_of[0], result.group_of[1]);
+}
+
+TEST(MultiThreadAllocator, MixedProcessesBalanced) {
+  // Two 4-thread processes on 2 cores -> 4 threads per core.
+  std::vector<TaskProfile> profiles;
+  for (std::size_t pid = 0; pid < 2; ++pid) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      profiles.push_back(
+          thread_profile(pid * 4 + t, pid, 10.0 + static_cast<double>(pid * 4 + t)));
+    }
+  }
+  const Allocation result = MultiThreadAllocator().allocate(profiles, 2);
+  EXPECT_EQ(result.members(0).size(), 4u);
+  EXPECT_EQ(result.members(1).size(), 4u);
+}
+
+TEST(MultiThreadAllocator, Validation) {
+  std::vector<TaskProfile> profiles = {thread_profile(0, 0, 1)};
+  EXPECT_THROW(MultiThreadAllocator().allocate(profiles, 2), std::invalid_argument);
+}
+
+TEST(MultiThreadAllocator, PinWeightDwarfsRealEdges) {
+  // The pinning constant must exceed any realizable weighted interference
+  // (occupancy <= filter entries, interference <= 1).
+  EXPECT_GT(MultiThreadAllocator::kPinnedWeight, 1e6);
+}
+
+}  // namespace
+}  // namespace symbiosis::sched

@@ -1,0 +1,103 @@
+#include "cachesim/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace symbiosis::cachesim {
+namespace {
+
+TEST(Replacement, LruMatchesReferenceModel) {
+  const std::size_t ways = 8;
+  auto policy = make_replacement(ReplacementKind::Lru, 1, ways);
+  std::deque<std::size_t> stack;  // front = LRU
+  for (std::size_t w = 0; w < ways; ++w) {
+    policy->on_fill(0, w);
+    stack.push_back(w);
+  }
+  util::Rng rng(1);
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.next_bool(0.7)) {
+      const std::size_t w = rng.next_below(ways);
+      policy->on_touch(0, w);
+      std::erase(stack, w);
+      stack.push_back(w);
+    } else {
+      const std::size_t victim = policy->victim(0);
+      EXPECT_EQ(victim, stack.front());
+      policy->on_fill(0, victim);
+      stack.pop_front();
+      stack.push_back(victim);
+    }
+  }
+}
+
+TEST(Replacement, FifoIgnoresTouches) {
+  auto policy = make_replacement(ReplacementKind::Fifo, 1, 4);
+  for (std::size_t w = 0; w < 4; ++w) policy->on_fill(0, w);
+  policy->on_touch(0, 0);  // must not refresh
+  EXPECT_EQ(policy->victim(0), 0u);
+  policy->on_fill(0, 0);
+  EXPECT_EQ(policy->victim(0), 1u);
+}
+
+TEST(Replacement, TreePlruNeverVictimizesJustTouched) {
+  const std::size_t ways = 8;
+  auto policy = make_replacement(ReplacementKind::TreePlru, 2, ways);
+  util::Rng rng(2);
+  for (std::size_t w = 0; w < ways; ++w) policy->on_fill(1, w);
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t touched = rng.next_below(ways);
+    policy->on_touch(1, touched);
+    EXPECT_NE(policy->victim(1), touched);
+  }
+}
+
+TEST(Replacement, TreePlruRequiresPow2Ways) {
+  EXPECT_THROW(make_replacement(ReplacementKind::TreePlru, 1, 6), std::invalid_argument);
+  EXPECT_NO_THROW(make_replacement(ReplacementKind::TreePlru, 1, 16));
+}
+
+TEST(Replacement, SetsAreIndependent) {
+  auto policy = make_replacement(ReplacementKind::Lru, 2, 2);
+  policy->on_fill(0, 0);
+  policy->on_fill(0, 1);
+  policy->on_fill(1, 0);
+  policy->on_fill(1, 1);
+  policy->on_touch(0, 0);  // set 0: victim should now be way 1
+  EXPECT_EQ(policy->victim(0), 1u);
+  EXPECT_EQ(policy->victim(1), 0u);  // set 1 unaffected
+}
+
+TEST(Replacement, RandomIsBoundedAndSeeded) {
+  auto a = make_replacement(ReplacementKind::Random, 1, 4, 7);
+  auto b = make_replacement(ReplacementKind::Random, 1, 4, 7);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a->victim(0);
+    EXPECT_LT(va, 4u);
+    EXPECT_EQ(va, b->victim(0));  // same seed, same stream
+  }
+}
+
+TEST(Replacement, ResetRestartsState) {
+  auto policy = make_replacement(ReplacementKind::Lru, 1, 4);
+  for (std::size_t w = 0; w < 4; ++w) policy->on_fill(0, w);
+  policy->on_touch(0, 0);
+  policy->reset();
+  // After reset everything is equally old; victim is the lowest way.
+  EXPECT_EQ(policy->victim(0), 0u);
+}
+
+TEST(Replacement, NameRoundTrip) {
+  for (const auto kind : {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random,
+                          ReplacementKind::TreePlru}) {
+    EXPECT_EQ(parse_replacement(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_replacement("mru"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symbiosis::cachesim

@@ -1,0 +1,140 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace symbiosis::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 3);
+  // Splitting again with the same id reproduces the same stream.
+  Rng c1b = parent.split(1);
+  Rng c1a = parent.split(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1a(), c1b());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(ZipfSampler, UniformWhenSkewZero) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfSampler, SkewConcentratesOnHead) {
+  ZipfSampler z(1000, 1.0);
+  Rng rng(29);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) head += (z.sample(rng) < 10);
+  // Zipf(1.0, 1000): top-10 mass = H(10)/H(1000) ≈ 0.39.
+  EXPECT_GT(head, n * 0.3);
+  EXPECT_LT(head, n * 0.5);
+}
+
+TEST(ZipfSampler, SamplesInSupport) {
+  ZipfSampler z(7, 0.8);
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace symbiosis::util

@@ -1,0 +1,125 @@
+#include "machine/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace symbiosis::machine {
+namespace {
+
+TEST(Scheduler, AdmitRoundRobinsUnpinned) {
+  Scheduler s(2);
+  s.admit(0, Task::kAnyCore);
+  s.admit(1, Task::kAnyCore);
+  s.admit(2, Task::kAnyCore);
+  EXPECT_EQ(s.core_of(0), 0u);
+  EXPECT_EQ(s.core_of(1), 1u);
+  EXPECT_EQ(s.core_of(2), 0u);
+}
+
+TEST(Scheduler, AdmitHonorsPinnedCore) {
+  Scheduler s(2);
+  s.admit(5, 1);
+  EXPECT_EQ(s.core_of(5), 1u);
+  EXPECT_EQ(s.queue_depth(1), 1u);
+  EXPECT_EQ(s.queue_depth(0), 0u);
+}
+
+TEST(Scheduler, PickNextIsFifoWithinCore) {
+  Scheduler s(1);
+  s.admit(0, 0);
+  s.admit(1, 0);
+  TaskId t;
+  ASSERT_TRUE(s.pick_next(0, t));
+  EXPECT_EQ(t, 0u);
+  ASSERT_TRUE(s.pick_next(0, t));
+  EXPECT_EQ(t, 1u);
+  EXPECT_FALSE(s.pick_next(0, t));
+}
+
+TEST(Scheduler, PinnedTaskAlwaysReturnsToItsQueue) {
+  Scheduler s(2);
+  s.admit(0, 1);
+  TaskId t;
+  ASSERT_TRUE(s.pick_next(1, t));
+  for (int i = 0; i < 20; ++i) {
+    s.yield(1, t);
+    EXPECT_EQ(s.core_of(t), 1u);
+    ASSERT_TRUE(s.pick_next(1, t));
+  }
+}
+
+TEST(Scheduler, UnpinnedTaskMigratesToLeastLoaded) {
+  Scheduler s(2, /*seed=*/3, /*migration_prob=*/1.0);
+  s.admit(0, Task::kAnyCore);  // lands on core 0
+  s.admit(1, 1);
+  s.admit(2, 1);
+  TaskId t;
+  ASSERT_TRUE(s.pick_next(0, t));
+  s.yield(0, t);  // core 0's queue is empty, core 1 has 2: must go to 0
+  EXPECT_EQ(s.core_of(0), 0u);
+}
+
+TEST(Scheduler, UnpinnedMigrationMixesCoresOverTime) {
+  // With symmetric load the random tie-break must spread an unpinned task
+  // across both cores (this drives the paper's phase-1 sampling).
+  Scheduler s(2, 7, /*migration_prob=*/1.0);
+  s.admit(0, Task::kAnyCore);
+  std::set<std::size_t> cores_seen;
+  TaskId t;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(s.pick_next(s.core_of(0), t));
+    s.yield(s.core_of(0), t);
+    cores_seen.insert(s.core_of(0));
+  }
+  EXPECT_EQ(cores_seen.size(), 2u);
+}
+
+TEST(Scheduler, SetAffinityMigratesQueuedTask) {
+  Scheduler s(2);
+  s.admit(0, 0);
+  s.set_affinity(0, 1);
+  EXPECT_EQ(s.core_of(0), 1u);
+  EXPECT_EQ(s.queue_depth(0), 0u);
+  EXPECT_EQ(s.queue_depth(1), 1u);
+}
+
+TEST(Scheduler, SetAffinityOnRunningTaskAppliesAtYield) {
+  Scheduler s(2);
+  s.admit(0, 0);
+  TaskId t;
+  ASSERT_TRUE(s.pick_next(0, t));
+  s.set_affinity(0, 1);  // task is "running": not in any queue
+  s.yield(0, t);
+  EXPECT_EQ(s.core_of(0), 1u);
+}
+
+TEST(Scheduler, UnpinningKeepsCurrentQueueUntilYield) {
+  Scheduler s(2);
+  s.admit(0, 0);
+  s.set_affinity(0, Task::kAnyCore);
+  EXPECT_EQ(s.core_of(0), 0u);  // no immediate move
+}
+
+TEST(Scheduler, RemoveDeletesFromQueue) {
+  Scheduler s(1);
+  s.admit(0, 0);
+  s.admit(1, 0);
+  s.remove(0);
+  TaskId t;
+  ASSERT_TRUE(s.pick_next(0, t));
+  EXPECT_EQ(t, 1u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, Validation) {
+  EXPECT_THROW(Scheduler(0), std::invalid_argument);
+  Scheduler s(2);
+  EXPECT_THROW(s.admit(0, 5), std::out_of_range);
+  s.admit(0, 0);
+  EXPECT_THROW(s.set_affinity(0, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace symbiosis::machine

@@ -1,0 +1,61 @@
+#include "cachesim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symbiosis::cachesim {
+namespace {
+
+TEST(Tlb, HitsWithinPage) {
+  Tlb tlb(4, 4096);
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1fff));  // same page
+  EXPECT_FALSE(tlb.access(0x2000));  // next page
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb tlb(2, 4096);
+  tlb.access(0x0000);  // page 0
+  tlb.access(0x1000);  // page 1
+  tlb.access(0x0000);  // refresh page 0
+  tlb.access(0x2000);  // page 2 evicts page 1
+  EXPECT_TRUE(tlb.access(0x0000));
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(Tlb, FlushDropsAll) {
+  Tlb tlb(8);
+  tlb.access(0x5000);
+  tlb.flush();
+  EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(Tlb, StatsSurviveFlush) {
+  Tlb tlb(8);
+  tlb.access(0x5000);
+  tlb.flush();
+  EXPECT_EQ(tlb.misses(), 1u);
+  tlb.reset_stats();
+  EXPECT_EQ(tlb.misses(), 0u);
+}
+
+TEST(Tlb, Validation) {
+  EXPECT_THROW(Tlb(0), std::invalid_argument);
+  EXPECT_THROW(Tlb(4, 1000), std::invalid_argument);
+  EXPECT_EQ(Tlb(4, 8192).page_bytes(), 8192u);
+}
+
+TEST(Tlb, CapacityWorkingSetAlwaysHits) {
+  Tlb tlb(16, 4096);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t page = 0; page < 16; ++page) tlb.access(page * 4096);
+  }
+  EXPECT_EQ(tlb.misses(), 16u);
+  EXPECT_EQ(tlb.hits(), 32u);
+}
+
+}  // namespace
+}  // namespace symbiosis::cachesim

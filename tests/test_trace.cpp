@@ -1,0 +1,94 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace symbiosis::workload {
+namespace {
+
+std::string temp_path(const char* name) { return testing::TempDir() + "/" + name; }
+
+TEST(Trace, RoundTrip) {
+  const std::string path = temp_path("roundtrip.symt");
+  std::vector<Step> original;
+  {
+    TraceWriter writer(path);
+    auto w = make_spec_workload("gobmk", 0, util::Rng{1});
+    for (int i = 0; i < 500; ++i) {
+      const Step step = w->next();
+      original.push_back(step);
+      writer.append(step);
+    }
+    EXPECT_EQ(writer.count(), 500u);
+  }
+  const auto loaded = read_trace(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].addr, original[i].addr);
+    EXPECT_EQ(loaded[i].compute_instr, original[i].compute_instr);
+    EXPECT_EQ(loaded[i].is_write, original[i].is_write);
+  }
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(read_trace(temp_path("does-not-exist.symt")), std::runtime_error);
+}
+
+TEST(Trace, BadMagicThrows) {
+  const std::string path = temp_path("bad-magic.symt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage";
+  }
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+}
+
+TEST(Trace, TruncatedBodyThrows) {
+  const std::string path = temp_path("truncated.symt");
+  {
+    TraceWriter writer(path);
+    writer.append(Step{1, 64, false});
+    writer.append(Step{2, 128, true});
+  }
+  // Chop the last few bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 4);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_THROW(read_trace(path), std::runtime_error);
+}
+
+TEST(TraceStream, ReplaysAndRestarts) {
+  std::vector<Step> steps = {{5, 0, false}, {6, 64, true}, {7, 128, false}};
+  TraceStream stream("replay", steps);
+  EXPECT_EQ(stream.total_refs(), 3u);
+  EXPECT_EQ(stream.next().addr, 0u);
+  EXPECT_EQ(stream.next().addr, 64u);
+  EXPECT_FALSE(stream.complete());
+  EXPECT_EQ(stream.next().addr, 128u);
+  EXPECT_TRUE(stream.complete());
+  stream.restart();
+  EXPECT_EQ(stream.refs_issued(), 0u);
+  EXPECT_EQ(stream.next().compute_instr, 5u);
+}
+
+TEST(TraceStream, EmptyRejected) {
+  EXPECT_THROW(TraceStream("empty", {}), std::invalid_argument);
+}
+
+TEST(TraceWriter, AppendAfterCloseThrows) {
+  const std::string path = temp_path("closed.symt");
+  TraceWriter writer(path);
+  writer.append(Step{1, 0, false});
+  writer.close();
+  EXPECT_THROW(writer.append(Step{1, 0, false}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace symbiosis::workload
