@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_footprint_vs_missrate.dir/bench_fig01_footprint_vs_missrate.cpp.o"
+  "CMakeFiles/bench_fig01_footprint_vs_missrate.dir/bench_fig01_footprint_vs_missrate.cpp.o.d"
+  "bench_fig01_footprint_vs_missrate"
+  "bench_fig01_footprint_vs_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_footprint_vs_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_05_counters_vs_occupancy.dir/bench_fig02_05_counters_vs_occupancy.cpp.o"
+  "CMakeFiles/bench_fig02_05_counters_vs_occupancy.dir/bench_fig02_05_counters_vs_occupancy.cpp.o.d"
+  "bench_fig02_05_counters_vs_occupancy"
+  "bench_fig02_05_counters_vs_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_05_counters_vs_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_05_counters_vs_occupancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_parsec_improvement.dir/bench_fig12_parsec_improvement.cpp.o"
+  "CMakeFiles/bench_fig12_parsec_improvement.dir/bench_fig12_parsec_improvement.cpp.o.d"
+  "bench_fig12_parsec_improvement"
+  "bench_fig12_parsec_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_parsec_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cachesim.dir/bench_micro_cachesim.cpp.o"
+  "CMakeFiles/bench_micro_cachesim.dir/bench_micro_cachesim.cpp.o.d"
+  "bench_micro_cachesim"
+  "bench_micro_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_signature.dir/bench_micro_signature.cpp.o"
+  "CMakeFiles/bench_micro_signature.dir/bench_micro_signature.cpp.o.d"
+  "bench_micro_signature"
+  "bench_micro_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

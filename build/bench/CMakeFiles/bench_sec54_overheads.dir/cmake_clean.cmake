@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_overheads.dir/bench_sec54_overheads.cpp.o"
+  "CMakeFiles/bench_sec54_overheads.dir/bench_sec54_overheads.cpp.o.d"
+  "bench_sec54_overheads"
+  "bench_sec54_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mapping_runtimes.dir/bench_table1_mapping_runtimes.cpp.o"
+  "CMakeFiles/bench_table1_mapping_runtimes.dir/bench_table1_mapping_runtimes.cpp.o.d"
+  "bench_table1_mapping_runtimes"
+  "bench_table1_mapping_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mapping_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footprint_explorer.dir/footprint_explorer.cpp.o"
+  "CMakeFiles/footprint_explorer.dir/footprint_explorer.cpp.o.d"
+  "footprint_explorer"
+  "footprint_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footprint_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

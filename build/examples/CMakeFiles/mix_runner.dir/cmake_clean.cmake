@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_runner.dir/mix_runner.cpp.o"
+  "CMakeFiles/mix_runner.dir/mix_runner.cpp.o.d"
+  "mix_runner"
+  "mix_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

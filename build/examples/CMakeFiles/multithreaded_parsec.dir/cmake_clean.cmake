@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_parsec.dir/multithreaded_parsec.cpp.o"
+  "CMakeFiles/multithreaded_parsec.dir/multithreaded_parsec.cpp.o.d"
+  "multithreaded_parsec"
+  "multithreaded_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_placement.dir/vm_placement.cpp.o"
+  "CMakeFiles/vm_placement.dir/vm_placement.cpp.o.d"
+  "vm_placement"
+  "vm_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/symbiosis_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/symbiosis_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/symbiosis_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/symbiosis_cachesim.dir/replacement.cpp.o"
+  "CMakeFiles/symbiosis_cachesim.dir/replacement.cpp.o.d"
+  "CMakeFiles/symbiosis_cachesim.dir/tlb.cpp.o"
+  "CMakeFiles/symbiosis_cachesim.dir/tlb.cpp.o.d"
+  "libsymbiosis_cachesim.a"
+  "libsymbiosis_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

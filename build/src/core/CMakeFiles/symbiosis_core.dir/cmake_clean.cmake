@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_core.dir/experiment.cpp.o"
+  "CMakeFiles/symbiosis_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/symbiosis_core.dir/online.cpp.o"
+  "CMakeFiles/symbiosis_core.dir/online.cpp.o.d"
+  "CMakeFiles/symbiosis_core.dir/overheads.cpp.o"
+  "CMakeFiles/symbiosis_core.dir/overheads.cpp.o.d"
+  "CMakeFiles/symbiosis_core.dir/profile.cpp.o"
+  "CMakeFiles/symbiosis_core.dir/profile.cpp.o.d"
+  "CMakeFiles/symbiosis_core.dir/symbiotic_scheduler.cpp.o"
+  "CMakeFiles/symbiosis_core.dir/symbiotic_scheduler.cpp.o.d"
+  "libsymbiosis_core.a"
+  "libsymbiosis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

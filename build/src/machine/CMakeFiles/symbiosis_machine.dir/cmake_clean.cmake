@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_machine.dir/machine.cpp.o"
+  "CMakeFiles/symbiosis_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/symbiosis_machine.dir/scheduler.cpp.o"
+  "CMakeFiles/symbiosis_machine.dir/scheduler.cpp.o.d"
+  "libsymbiosis_machine.a"
+  "libsymbiosis_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/allocation.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/allocation.cpp.o.d"
+  "/root/repo/src/sched/interference_graph.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/interference_graph.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/interference_graph.cpp.o.d"
+  "/root/repo/src/sched/mincut.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/mincut.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/mincut.cpp.o.d"
+  "/root/repo/src/sched/multithread.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/multithread.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/multithread.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/weight_sort.cpp" "src/sched/CMakeFiles/symbiosis_sched.dir/weight_sort.cpp.o" "gcc" "src/sched/CMakeFiles/symbiosis_sched.dir/weight_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/symbiosis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

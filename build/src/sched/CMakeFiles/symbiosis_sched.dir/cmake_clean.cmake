@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_sched.dir/allocation.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/symbiosis_sched.dir/interference_graph.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/interference_graph.cpp.o.d"
+  "CMakeFiles/symbiosis_sched.dir/mincut.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/mincut.cpp.o.d"
+  "CMakeFiles/symbiosis_sched.dir/multithread.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/multithread.cpp.o.d"
+  "CMakeFiles/symbiosis_sched.dir/policy.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/symbiosis_sched.dir/weight_sort.cpp.o"
+  "CMakeFiles/symbiosis_sched.dir/weight_sort.cpp.o.d"
+  "libsymbiosis_sched.a"
+  "libsymbiosis_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

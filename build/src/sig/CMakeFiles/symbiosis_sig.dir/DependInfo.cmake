@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/bitvector.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/bitvector.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/bitvector.cpp.o.d"
+  "/root/repo/src/sig/bloom.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/bloom.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/bloom.cpp.o.d"
+  "/root/repo/src/sig/counting_bloom.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/counting_bloom.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/counting_bloom.cpp.o.d"
+  "/root/repo/src/sig/filter_unit.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/filter_unit.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/filter_unit.cpp.o.d"
+  "/root/repo/src/sig/hash.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/hash.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/hash.cpp.o.d"
+  "/root/repo/src/sig/signature.cpp" "src/sig/CMakeFiles/symbiosis_sig.dir/signature.cpp.o" "gcc" "src/sig/CMakeFiles/symbiosis_sig.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/symbiosis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_sig.dir/bitvector.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/bitvector.cpp.o.d"
+  "CMakeFiles/symbiosis_sig.dir/bloom.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/bloom.cpp.o.d"
+  "CMakeFiles/symbiosis_sig.dir/counting_bloom.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/counting_bloom.cpp.o.d"
+  "CMakeFiles/symbiosis_sig.dir/filter_unit.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/filter_unit.cpp.o.d"
+  "CMakeFiles/symbiosis_sig.dir/hash.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/hash.cpp.o.d"
+  "CMakeFiles/symbiosis_sig.dir/signature.cpp.o"
+  "CMakeFiles/symbiosis_sig.dir/signature.cpp.o.d"
+  "libsymbiosis_sig.a"
+  "libsymbiosis_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymbiosis_sig.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_util.dir/cli.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/cli.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/csv.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/csv.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/log.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/log.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/rng.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/rng.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/stats.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/stats.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/table.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/table.cpp.o.d"
+  "CMakeFiles/symbiosis_util.dir/threadpool.cpp.o"
+  "CMakeFiles/symbiosis_util.dir/threadpool.cpp.o.d"
+  "libsymbiosis_util.a"
+  "libsymbiosis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

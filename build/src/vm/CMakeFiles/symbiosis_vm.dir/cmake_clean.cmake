@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_vm.dir/hypervisor.cpp.o"
+  "CMakeFiles/symbiosis_vm.dir/hypervisor.cpp.o.d"
+  "libsymbiosis_vm.a"
+  "libsymbiosis_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

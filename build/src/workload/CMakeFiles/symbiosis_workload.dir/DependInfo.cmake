@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_pattern.cpp" "src/workload/CMakeFiles/symbiosis_workload.dir/access_pattern.cpp.o" "gcc" "src/workload/CMakeFiles/symbiosis_workload.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/workload/benchmark_model.cpp" "src/workload/CMakeFiles/symbiosis_workload.dir/benchmark_model.cpp.o" "gcc" "src/workload/CMakeFiles/symbiosis_workload.dir/benchmark_model.cpp.o.d"
+  "/root/repo/src/workload/parsec_model.cpp" "src/workload/CMakeFiles/symbiosis_workload.dir/parsec_model.cpp.o" "gcc" "src/workload/CMakeFiles/symbiosis_workload.dir/parsec_model.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/symbiosis_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/symbiosis_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/symbiosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/symbiosis_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/symbiosis_sig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

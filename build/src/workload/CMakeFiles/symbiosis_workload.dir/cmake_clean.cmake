@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosis_workload.dir/access_pattern.cpp.o"
+  "CMakeFiles/symbiosis_workload.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/symbiosis_workload.dir/benchmark_model.cpp.o"
+  "CMakeFiles/symbiosis_workload.dir/benchmark_model.cpp.o.d"
+  "CMakeFiles/symbiosis_workload.dir/parsec_model.cpp.o"
+  "CMakeFiles/symbiosis_workload.dir/parsec_model.cpp.o.d"
+  "CMakeFiles/symbiosis_workload.dir/trace.cpp.o"
+  "CMakeFiles/symbiosis_workload.dir/trace.cpp.o.d"
+  "libsymbiosis_workload.a"
+  "libsymbiosis_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosis_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

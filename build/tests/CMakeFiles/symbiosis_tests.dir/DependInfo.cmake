@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_access_pattern.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_access_pattern.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_access_pattern.cpp.o.d"
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_benchmark_model.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_benchmark_model.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_benchmark_model.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_bitvector.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_bitvector.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_bitvector.cpp.o.d"
+  "/root/repo/tests/test_bloom.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_bloom.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_bloom.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_core_pipeline.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_core_pipeline.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_core_pipeline.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_filter_unit.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_filter_unit.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_filter_unit.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_mincut.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_mincut.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_mincut.cpp.o.d"
+  "/root/repo/tests/test_multithread.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_multithread.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_multithread.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_paper_invariants.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_paper_invariants.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_paper_invariants.cpp.o.d"
+  "/root/repo/tests/test_parsec.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_parsec.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_parsec.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_signature.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_signature.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_signature.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/symbiosis_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/symbiosis_tests.dir/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/symbiosis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/symbiosis_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/symbiosis_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/symbiosis_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/symbiosis_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/symbiosis_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/symbiosis_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/symbiosis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
