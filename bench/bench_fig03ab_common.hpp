@@ -52,7 +52,7 @@ struct PairSweepResult {
                                                              util::Rng{seed + 2}, scale),
                                 same_core ? 0 : 1);
       m.run_to_all_complete(0);
-      for (const auto [id, name, other] :
+      for (const auto& [id, name, other] :
            {std::tuple{a, pool[i], pool[j]}, std::tuple{b, pool[j], pool[i]}}) {
         const double degradation =
             static_cast<double>(m.task(id).first_completion_user_cycles) / solo[name] - 1.0;

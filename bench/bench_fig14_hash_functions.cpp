@@ -26,7 +26,7 @@ double mean_improvement(const core::MixOutcome& outcome) {
 double observe_saturation(const core::PipelineConfig& config,
                           const std::vector<std::string>& mix) {
   machine::Machine m(config.machine);
-  core::add_mix_tasks(m, mix, config.scale, config.seed);
+  (void)core::add_mix_tasks(m, mix, config.scale, config.seed);
   m.run_for(30'000'000);
   const auto* filter = m.hierarchy().filter();
   double fill = 0.0;

@@ -2,9 +2,9 @@
 // any machine/allocator configuration, print the full mapping matrix, and
 // optionally dump raw results as CSV for external plotting.
 //
-//   ./mix_runner --mix mcf,omnetpp,libquantum,povray --cores 2 \
+//   ./mix_runner --mix mcf,omnetpp,libquantum,povray --cores 2
 //                --allocator weight-sort --csv /tmp/results.csv
-//   ./mix_runner --mix mcf,omnetpp,gcc,bzip2,libquantum,povray,gobmk,hmmer \
+//   ./mix_runner --mix mcf,omnetpp,gcc,bzip2,libquantum,povray,gobmk,hmmer
 //                --cores 4 --l2-kb 512
 #include <cstdio>
 #include <sstream>

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""lint.py -- repo-specific lint rules clang-tidy cannot express.
+
+Usage: scripts/lint.py [paths...]        (default: src/)
+
+Rules (see README "Correctness tooling"):
+  no-raw-assert        assert() is banned in committed C++: it vanishes under
+                       NDEBUG and bypasses the SYM_CHECK violation registry.
+                       Use SYM_CHECK / SYM_DCHECK from util/check.hpp.
+  no-rand              rand()/srand() are banned: experiments must be
+                       reproducible through util::Rng's seeded streams.
+  no-using-namespace-in-header
+                       `using namespace` in a header pollutes every includer.
+  pragma-once          every header must open with #pragma once (include
+                       guards are not used in this repo).
+
+Exit status: 0 when clean, 1 when any rule fires.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
+
+RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+STATIC_ASSERT = re.compile(r"static_assert\s*\(")
+RAW_RAND = re.compile(r"(?<![\w:.])s?rand\s*\(")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Remove string/char literal contents and // comments (crude but
+    sufficient: no rule needs to look inside literals)."""
+    out = []
+    quote = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+                out.append(ch)
+            i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            continue
+        if line.startswith("//", i):
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [f"{path}:1: file is not valid UTF-8"]
+
+    lines = text.splitlines()
+    in_block_comment = False
+    saw_pragma_once = False
+    first_code_line = None
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        # Track /* ... */ block comments line-by-line.
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+
+        code = strip_strings_and_comments(line)
+        stripped = code.strip()
+
+        if stripped == "#pragma once":
+            saw_pragma_once = True
+        if stripped and first_code_line is None:
+            first_code_line = lineno
+
+        if RAW_ASSERT.search(STATIC_ASSERT.sub("", code)):
+            problems.append(
+                f"{path}:{lineno}: raw assert() — use SYM_CHECK/SYM_DCHECK (util/check.hpp)"
+            )
+        if RAW_RAND.search(code):
+            problems.append(
+                f"{path}:{lineno}: rand()/srand() — use the seeded util::Rng instead"
+            )
+        if path.suffix in HEADER_SUFFIXES and USING_NAMESPACE.search(code):
+            problems.append(
+                f"{path}:{lineno}: `using namespace` in a header leaks into every includer"
+            )
+
+    if path.suffix in HEADER_SUFFIXES and not saw_pragma_once:
+        problems.append(f"{path}:1: header missing #pragma once")
+
+    return problems
+
+
+def collect(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(
+                f for f in sorted(path.rglob("*")) if f.suffix in CPP_SUFFIXES and f.is_file()
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    paths = argv[1:] or ["src"]
+    files = collect(paths)
+    if not files:
+        print(f"lint.py: no C++ files under: {' '.join(paths)}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for f in files:
+        problems.extend(check_file(f))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"lint.py: {len(problems)} problem(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

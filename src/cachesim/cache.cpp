@@ -1,6 +1,6 @@
 #include "cachesim/cache.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -14,10 +14,11 @@ Cache::Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t re
 }
 
 AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
-  assert(requestor < per_requestor_.size());
+  SYM_DCHECK_BOUNDS(requestor, per_requestor_.size(), "cachesim.bounds");
   AccessResult result;
   const std::size_t set = geom_.set_of(line);
   const std::uint64_t tag = geom_.tag_of(line);
+  SYM_DCHECK_BOUNDS(set, geom_.sets(), "cachesim.bounds") << "set index from line decode";
   result.set = set;
 
   ++total_.accesses;
@@ -50,7 +51,12 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
   }
   if (way == geom_.ways) {
     way = policy_->victim(set);
+    SYM_DCHECK_LT(way, geom_.ways, "cachesim.replacement")
+        << "replacement policy chose an out-of-range victim way";
     Line& victim = line_at(set, way);
+    SYM_DCHECK(victim.valid, "cachesim.replacement")
+        << "victim way " << way << " of full set " << set << " is invalid";
+    SYM_DCHECK_BOUNDS(victim.owner, per_requestor_.size(), "cachesim.bounds");
     result.evicted = true;
     result.victim_line = (victim.tag << geom_.set_bits()) | set;
     result.victim_dirty = victim.dirty;

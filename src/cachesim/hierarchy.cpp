@@ -1,7 +1,8 @@
 #include "cachesim/hierarchy.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -43,7 +44,7 @@ Hierarchy::Hierarchy(HierarchyConfig config) : config_(config) {
 }
 
 MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
-  assert(core < config_.num_cores);
+  SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
   MemAccessResult result;
   const LineAddr line = config_.l1.line_of(addr);
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace symbiosis::cachesim {
 
 std::string to_string(ReplacementKind kind) {
@@ -157,6 +159,10 @@ class TreePlruPolicy final : public ReplacementPolicy {
         lo = mid;
       }
     }
+    // Replacement-stack integrity: the walk must land on a real leaf and
+    // never read past this set's (ways - 1) tree nodes.
+    SYM_DCHECK_LT(lo, ways_, "cachesim.replacement") << "tree-PLRU walk escaped the set";
+    SYM_DCHECK_LT(node, 2 * ways_ - 1, "cachesim.replacement");
     return lo;
   }
 

@@ -76,7 +76,7 @@ sched::Allocation SymbioticScheduler::run_phase1(machine::Machine& m,
 
 sched::Allocation SymbioticScheduler::choose_allocation(const std::vector<std::string>& mix) {
   machine::Machine m(config_.machine);
-  add_mix_tasks(m, mix, config_.scale, config_.seed);
+  (void)add_mix_tasks(m, mix, config_.scale, config_.seed);
   return run_phase1(m, config_.allocator);
 }
 

@@ -1,8 +1,9 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace symbiosis::machine {
 
@@ -68,6 +69,7 @@ const Task* Machine::running_on(std::size_t core) const {
 }
 
 void Machine::record_signature(std::size_t core, Task& task) {
+  SYM_DCHECK_BOUNDS(core, config_.hierarchy.num_cores, "machine.affinity");
   sig::FilterUnit* filter = hierarchy_.filter();
   if (!filter) return;
   const sig::BitVector rbv = filter->compute_rbv(core);
@@ -96,6 +98,10 @@ void Machine::switch_out(std::size_t core) {
 bool Machine::switch_in(std::size_t core) {
   TaskId id = kNoTask;
   if (!scheduler_.pick_next(core, id)) return false;
+  SYM_DCHECK_LT(id, tasks_.size(), "machine.affinity") << "scheduler produced unknown task";
+  SYM_DCHECK(tasks_[id]->affinity() == Task::kAnyCore || tasks_[id]->affinity() == core,
+             "machine.affinity")
+      << "task " << id << " switched in on core " << core << " despite a pin";
   current_[core] = id;
   quantum_left_[core] = config_.quantum_cycles;
   if (config_.quantum_jitter > 0.0) {

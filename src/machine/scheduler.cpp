@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace symbiosis::machine {
 
 Scheduler::Scheduler(std::size_t num_cores, std::uint64_t seed, double migration_prob)
@@ -46,6 +48,8 @@ void Scheduler::admit(TaskId task, std::size_t affinity) {
   if (core >= queues_.size()) throw std::out_of_range("Scheduler::admit: bad core");
   assignment_[task] = core;
   queues_[core].push_back(task);
+  SYM_DCHECK(affinity == Task::kAnyCore || assignment_[task] == affinity, "machine.affinity")
+      << "pinned task admitted to a different core";
 }
 
 void Scheduler::set_affinity(TaskId task, std::size_t core) {
@@ -73,6 +77,11 @@ bool Scheduler::pick_next(std::size_t core, TaskId& out) {
   if (queue.empty()) return false;
   out = queue.front();
   queue.pop_front();
+  SYM_DCHECK_LT(out, assignment_.size(), "machine.affinity");
+  SYM_DCHECK_EQ(assignment_[out], core, "machine.affinity")
+      << "task dequeued from a core it is not assigned to";
+  SYM_DCHECK(affinity_[out] == Task::kAnyCore || affinity_[out] == core, "machine.affinity")
+      << "pinned task surfaced on the wrong core's queue";
   return true;
 }
 
@@ -85,6 +94,8 @@ void Scheduler::yield(std::size_t core, TaskId task) {
     target = rng_.next_bool(migration_prob_) ? least_loaded_core() : assignment_[task];
   }
   (void)core;
+  SYM_DCHECK_BOUNDS(target, queues_.size(), "machine.affinity")
+      << "yield routed task " << task << " to a nonexistent core";
   assignment_[task] = target;
   queues_.at(target).push_back(task);
 }

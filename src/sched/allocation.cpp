@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace symbiosis::sched {
 
 std::vector<std::size_t> Allocation::members(std::size_t group) const {
@@ -116,6 +118,16 @@ std::vector<Allocation> enumerate_balanced_allocations(std::size_t tasks, std::s
                           return a.group_of == b.group_of;
                         }),
             out.end());
+  // Postcondition: every surviving mapping respects the balanced sizes (the
+  // recursion's remaining[] bookkeeping guarantees it; this guards refactors).
+  for (const auto& alloc : out) {
+    std::vector<std::size_t> got(groups, 0);
+    for (const auto g : alloc.group_of) ++got[g];
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want = sizes;
+    std::sort(want.begin(), want.end());
+    SYM_DCHECK(got == want, "sched.partition") << "enumerated mapping is unbalanced";
+  }
   return out;
 }
 

@@ -1,11 +1,12 @@
 #include "sched/mincut.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace symbiosis::sched {
 
@@ -63,7 +64,7 @@ Allocation solve_exhaustive(const SymMatrix& w, std::size_t groups) {
       best = &alloc;
     }
   }
-  assert(best);
+  SYM_CHECK(best != nullptr, "sched.mincut") << "no candidate allocation enumerated";
   return *best;
 }
 
@@ -299,6 +300,36 @@ void hierarchical(const SymMatrix& w, const std::vector<std::size_t>& nodes, std
 
 }  // namespace
 
+namespace {
+
+/// Partition-balance postcondition (category "sched.partition"): every task
+/// is labelled with an in-range group and no group is empty. When
+/// @p exact_balance is set (2-way and exhaustive paths guarantee it), group
+/// sizes must additionally match balanced_group_sizes up to permutation; the
+/// hierarchical path with odd group counts may drift by more than one task,
+/// so it only gets the weak form.
+Allocation checked(Allocation alloc, std::size_t tasks, std::size_t groups, bool exact_balance) {
+  SYM_CHECK_EQ(alloc.group_of.size(), tasks, "sched.partition");
+  SYM_CHECK_EQ(alloc.groups, groups, "sched.partition");
+  std::vector<std::size_t> sizes(groups, 0);
+  for (const auto g : alloc.group_of) {
+    SYM_CHECK_BOUNDS(g, groups, "sched.partition") << "task labelled with out-of-range group";
+    ++sizes[g];
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    SYM_CHECK(sizes[g] > 0, "sched.partition") << "group " << g << " left empty";
+  }
+  if (exact_balance) {
+    auto want = balanced_group_sizes(tasks, groups);
+    std::sort(sizes.begin(), sizes.end());
+    std::sort(want.begin(), want.end());
+    SYM_CHECK(sizes == want, "sched.partition") << "group sizes not balanced";
+  }
+  return alloc;
+}
+
+}  // namespace
+
 Allocation balanced_min_cut(const SymMatrix& w, std::size_t groups, MinCutMethod method,
                             std::uint64_t seed) {
   if (groups == 0) throw std::invalid_argument("balanced_min_cut: groups must be > 0");
@@ -309,18 +340,18 @@ Allocation balanced_min_cut(const SymMatrix& w, std::size_t groups, MinCutMethod
   out.group_of.assign(w.size(), 0);
   if (groups == 1) return out;
 
-  if (groups == 2) return solve_2way(w, method, seed);
+  if (groups == 2) return checked(solve_2way(w, method, seed), w.size(), groups, true);
 
   // Exhaustive k-way stays exact when small enough.
   if (method == MinCutMethod::Exhaustive ||
       (method == MinCutMethod::Auto && w.size() <= 12 && groups <= 4)) {
-    return solve_exhaustive(w, groups);
+    return checked(solve_exhaustive(w, groups), w.size(), groups, true);
   }
 
   std::vector<std::size_t> nodes(w.size());
   std::iota(nodes.begin(), nodes.end(), std::size_t{0});
   hierarchical(w, nodes, groups, method, seed, 0, out);
-  return out;
+  return checked(std::move(out), w.size(), groups, false);
 }
 
 }  // namespace symbiosis::sched

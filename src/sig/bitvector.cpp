@@ -1,7 +1,8 @@
 #include "sig/bitvector.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace symbiosis::sig {
 
@@ -12,17 +13,17 @@ constexpr std::size_t kWordBits = 64;
 BitVector::BitVector(std::size_t bits) : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
 
 void BitVector::set(std::size_t i) noexcept {
-  assert(i < bits_);
+  SYM_DCHECK_BOUNDS(i, bits_, "sig.bitvector");
   words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
 }
 
 void BitVector::clear(std::size_t i) noexcept {
-  assert(i < bits_);
+  SYM_DCHECK_BOUNDS(i, bits_, "sig.bitvector");
   words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
 }
 
 bool BitVector::test(std::size_t i) const noexcept {
-  assert(i < bits_);
+  SYM_DCHECK_BOUNDS(i, bits_, "sig.bitvector");
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
@@ -37,7 +38,7 @@ std::size_t BitVector::popcount() const noexcept {
 }
 
 std::size_t BitVector::xor_popcount(const BitVector& other) const noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
@@ -46,7 +47,7 @@ std::size_t BitVector::xor_popcount(const BitVector& other) const noexcept {
 }
 
 std::size_t BitVector::and_popcount(const BitVector& other) const noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
@@ -55,31 +56,32 @@ std::size_t BitVector::and_popcount(const BitVector& other) const noexcept {
 }
 
 void BitVector::assign_and_not(const BitVector& a, const BitVector& b) noexcept {
-  assert(bits_ == a.bits_ && bits_ == b.bits_);
+  SYM_DCHECK_EQ(bits_, a.bits_, "sig.bitvector") << "bit-vector width mismatch";
+  SYM_DCHECK_EQ(bits_, b.bits_, "sig.bitvector") << "bit-vector width mismatch";
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] = a.words_[i] & ~b.words_[i];
   }
 }
 
 void BitVector::assign(const BitVector& other) noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   words_ = other.words_;
 }
 
 BitVector& BitVector::operator|=(const BitVector& other) noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 BitVector& BitVector::operator&=(const BitVector& other) noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 BitVector& BitVector::operator^=(const BitVector& other) noexcept {
-  assert(bits_ == other.bits_);
+  SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace symbiosis::sig {
 
 namespace {
@@ -44,6 +46,7 @@ void CountingBloomFilter::insert(LineAddr line) noexcept {
   std::size_t idx[kMaxHashes];
   const unsigned n = distinct_indices(line, idx);
   for (unsigned i = 0; i < n; ++i) {
+    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
     auto& counter = counters_[idx[i]];
     if (counter == 0) ++nonzero_;
     if (counter < max_value_) ++counter;  // saturate, never wrap
@@ -54,11 +57,16 @@ void CountingBloomFilter::remove(LineAddr line) noexcept {
   std::size_t idx[kMaxHashes];
   const unsigned n = distinct_indices(line, idx);
   for (unsigned i = 0; i < n; ++i) {
+    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
     auto& counter = counters_[idx[i]];
     if (counter == 0 || counter == max_value_) continue;  // underflow / stuck-at-max
     --counter;
-    if (counter == 0) --nonzero_;
+    if (counter == 0) {
+      SYM_DCHECK(nonzero_ > 0, "sig.cbf") << "nonzero_ bookkeeping underflow";
+      --nonzero_;
+    }
   }
+  SYM_DCHECK_LE(nonzero_, counters_.size(), "sig.cbf");
 }
 
 bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
@@ -73,6 +81,15 @@ bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
 void CountingBloomFilter::reset() noexcept {
   std::fill(counters_.begin(), counters_.end(), std::uint16_t{0});
   nonzero_ = 0;
+}
+
+void CountingBloomFilter::validate() const {
+  std::size_t nonzero = 0;
+  for (const auto counter : counters_) {
+    SYM_CHECK_LE(counter, max_value_, "sig.cbf") << "counter exceeds saturation value";
+    if (counter != 0) ++nonzero;
+  }
+  SYM_CHECK_EQ(nonzero, nonzero_, "sig.cbf") << "cached nonzero count out of sync";
 }
 
 std::size_t CountingBloomFilter::saturated_count() const noexcept {

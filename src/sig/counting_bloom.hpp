@@ -54,6 +54,11 @@ class CountingBloomFilter {
 
   [[nodiscard]] std::uint16_t counter_at(std::size_t i) const { return counters_.at(i); }
 
+  /// Full O(entries) consistency audit via SYM_CHECK: the cached nonzero
+  /// count matches a recount and no counter exceeds the saturation value.
+  /// Cheap enough for tests and periodic soak-run sweeps, too slow per-op.
+  void validate() const;
+
  private:
   /// Collect the distinct indices of the k hashes for @p line into @p out
   /// (size <= k); returns the count.

@@ -1,8 +1,9 @@
 #include "sig/filter_unit.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 #include "util/bitops.hpp"
 
@@ -61,10 +62,12 @@ unsigned FilterUnit::indices_of(LineAddr line, std::size_t set, std::size_t way,
 
 void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
                          std::size_t way) noexcept {
-  assert(core < cf_.size());
+  SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
+  SYM_DCHECK_LT(way, config_.cache_ways, "sig.filter") << "fill way out of range";
   std::size_t idx[kMaxHashFunctions];
   const unsigned n = indices_of(line, set, way, idx);
   for (unsigned i = 0; i < n; ++i) {
+    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.filter") << "filter index out of range";
     auto& counter = counters_[idx[i]];
     if (counter < counter_max_) ++counter;  // saturate, never wrap
     cf_[core].set(idx[i]);
@@ -75,6 +78,7 @@ void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexc
   std::size_t idx[kMaxHashFunctions];
   const unsigned n = indices_of(line, set, way, idx);
   for (unsigned i = 0; i < n; ++i) {
+    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.filter") << "filter index out of range";
     auto& counter = counters_[idx[i]];
     if (counter == 0 || counter == counter_max_) continue;  // underflow / stuck-at-max
     if (--counter == 0) {
@@ -86,7 +90,7 @@ void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexc
 }
 
 void FilterUnit::snapshot(std::size_t core) noexcept {
-  assert(core < cf_.size());
+  SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
   lf_[core].assign(cf_[core]);
 }
 
@@ -97,17 +101,19 @@ BitVector FilterUnit::compute_rbv(std::size_t core) const {
 }
 
 std::size_t FilterUnit::symbiosis(const BitVector& rbv, std::size_t other_core) const noexcept {
-  assert(other_core < cf_.size());
+  SYM_DCHECK_BOUNDS(other_core, cf_.size(), "sig.filter");
+  SYM_DCHECK_EQ(rbv.size(), counters_.size(), "sig.filter") << "RBV width != filter entries";
   return rbv.xor_popcount(cf_[other_core]);
 }
 
 std::size_t FilterUnit::self_symbiosis(const BitVector& rbv, std::size_t core) const noexcept {
-  assert(core < lf_.size());
+  SYM_DCHECK_BOUNDS(core, lf_.size(), "sig.filter");
+  SYM_DCHECK_EQ(rbv.size(), counters_.size(), "sig.filter") << "RBV width != filter entries";
   return rbv.xor_popcount(lf_[core]);
 }
 
 std::size_t FilterUnit::core_filter_weight(std::size_t core) const noexcept {
-  assert(core < cf_.size());
+  SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
   return cf_[core].popcount();
 }
 
@@ -115,6 +121,21 @@ void FilterUnit::reset() noexcept {
   std::fill(counters_.begin(), counters_.end(), std::uint16_t{0});
   for (auto& cf : cf_) cf.reset();
   for (auto& lf : lf_) lf.reset();
+}
+
+void FilterUnit::validate() const {
+  for (std::size_t c = 0; c < cf_.size(); ++c) {
+    SYM_CHECK_EQ(cf_[c].size(), counters_.size(), "sig.filter") << "CF width != entries";
+    SYM_CHECK_EQ(lf_[c].size(), counters_.size(), "sig.filter") << "LF width != entries";
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    SYM_CHECK_LE(counters_[i], counter_max_, "sig.filter") << "counter exceeds saturation";
+    if (counters_[i] != 0) continue;
+    for (std::size_t c = 0; c < cf_.size(); ++c) {
+      SYM_CHECK(!cf_[c].test(i), "sig.filter")
+          << "CF bit " << i << " set for core " << c << " with a drained counter";
+    }
+  }
 }
 
 std::size_t FilterUnit::saturated_counters() const noexcept {

@@ -106,6 +106,12 @@ class FilterUnit {
   /// Fraction of CF bits set, per core — the presence-bits saturation metric.
   [[nodiscard]] double core_filter_fill(std::size_t core) const { return cf_.at(core).fill_ratio(); }
 
+  /// Full O(cores * entries) consistency audit via SYM_CHECK: every set CF
+  /// bit is backed by a live shared counter (on_evict clears CF bits when a
+  /// counter drains), all widths agree, and no counter exceeds saturation.
+  /// LF bits are exempt — snapshots legitimately go stale (§3.1).
+  void validate() const;
+
   /// Hard ceiling on hash_functions (the paper uses 1; >1 exists only for
   /// the Fig 14 saturation ablation).
   static constexpr unsigned kMaxHashFunctions = 8;

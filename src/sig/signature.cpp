@@ -1,7 +1,8 @@
 #include "sig/signature.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace symbiosis::sig {
 
@@ -18,7 +19,8 @@ void ProcessSignature::resize(std::size_t num_cores) {
 }
 
 void ProcessSignature::record(const SignatureSample& sample) {
-  assert(sample.symbiosis.size() == sym_sum_.size());
+  SYM_CHECK_EQ(sample.symbiosis.size(), sym_sum_.size(), "sig.signature")
+      << "sample core count disagrees with resize()";
   last_core_ = sample.core;
   latest_occupancy_ = sample.occupancy_weight;
   latest_sym_ = sample.symbiosis;

@@ -1,0 +1,113 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+
+namespace symbiosis::util {
+
+namespace {
+
+std::atomic<CheckMode> g_check_mode{CheckMode::Abort};
+
+/// Category counters behind a mutex (violations are exceptional, so the lock
+/// is uncontended in healthy runs); the total is a lock-free atomic so
+/// check_violation_total() stays noexcept.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t, std::less<>> counts;
+  std::atomic<std::uint64_t> total{0};
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+void record_violation(const char* category) {
+  Registry& reg = registry();
+  {
+    const std::scoped_lock lock(reg.mutex);
+    auto it = reg.counts.find(std::string_view{category});
+    if (it == reg.counts.end()) {
+      reg.counts.emplace(category, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  reg.total.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CheckMode check_mode() noexcept { return g_check_mode.load(std::memory_order_relaxed); }
+
+CheckMode set_check_mode(CheckMode mode) noexcept {
+  return g_check_mode.exchange(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t check_violation_count(std::string_view category) {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  const auto it = reg.counts.find(category);
+  return it == reg.counts.end() ? 0 : it->second;
+}
+
+std::uint64_t check_violation_total() noexcept {
+  return registry().total.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> check_violation_snapshot() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  return {reg.counts.begin(), reg.counts.end()};
+}
+
+void reset_check_violations() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  reg.counts.clear();
+  reg.total.store(0, std::memory_order_relaxed);
+}
+
+namespace check_detail {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr, const char* category)
+    : file_(file), line_(line), expr_(expr), category_(category) {}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  std::string message = "SYM_CHECK failed: ";
+  message += expr_;
+  const std::string context = stream_.str();
+  if (!context.empty()) {
+    message += " ";
+    message += context;
+  }
+  message += " [";
+  message += category_;
+  message += "] at ";
+  message += file_;
+  message += ":";
+  message += std::to_string(line_);
+
+  record_violation(category_);
+
+  switch (check_mode()) {
+    case CheckMode::Abort:
+      std::fprintf(stderr, "%s\n", message.c_str());
+      std::fflush(stderr);
+      std::abort();
+    case CheckMode::Throw:
+      throw CheckError(message);
+    case CheckMode::LogAndCount:
+      SYMBIOSIS_LOG_ERROR("%s", message.c_str());
+      break;
+  }
+}
+
+}  // namespace check_detail
+}  // namespace symbiosis::util

@@ -1,8 +1,9 @@
 #include "util/rng.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/check.hpp"
 
 namespace symbiosis::util {
 
@@ -42,7 +43,7 @@ Rng::result_type Rng::operator()() noexcept {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  assert(bound > 0);
+  SYM_DCHECK(bound > 0, "util.rng") << "next_below(0) is undefined";
   // Lemire's nearly-divisionless bounded sampling with rejection.
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -59,7 +60,7 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
 }
 
 std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) noexcept {
-  assert(lo <= hi);
+  SYM_DCHECK_LE(lo, hi, "util.rng");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(next_below(span));
 }
@@ -86,14 +87,14 @@ double Rng::next_normal() noexcept {
 }
 
 double Rng::next_exponential(double lambda) noexcept {
-  assert(lambda > 0.0);
+  SYM_DCHECK(lambda > 0.0, "util.rng") << "rate must be positive";
   double u = next_double();
   while (u <= 0.0) u = next_double();
   return -std::log(u) / lambda;
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double skew) {
-  assert(n > 0);
+  SYM_CHECK(n > 0, "util.rng") << "ZipfSampler over an empty universe";
   cdf_.resize(n);
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

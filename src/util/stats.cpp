@@ -1,10 +1,11 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <sstream>
+
+#include "util/check.hpp"
 
 namespace symbiosis::util {
 
@@ -45,7 +46,8 @@ double RunningStat::variance() const noexcept {
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  SYM_CHECK(hi > lo, "util.stats") << "Histogram range is empty";
+  SYM_CHECK(bins > 0, "util.stats") << "Histogram needs at least one bin";
 }
 
 void Histogram::add(double x) noexcept {
@@ -83,7 +85,7 @@ std::string Histogram::ascii(std::size_t width) const {
 }
 
 double pearson(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+  SYM_CHECK_EQ(x.size(), y.size(), "util.stats") << "pearson needs paired samples";
   const std::size_t n = x.size();
   if (n < 2) return 0.0;
   const double mx = mean_of(x);
@@ -120,7 +122,7 @@ std::vector<double> ranks_of(std::span<const double> xs) {
 }  // namespace
 
 double spearman(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+  SYM_CHECK_EQ(x.size(), y.size(), "util.stats") << "spearman needs paired samples";
   if (x.size() < 2) return 0.0;
   const auto rx = ranks_of(x);
   const auto ry = ranks_of(y);

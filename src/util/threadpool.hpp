@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace symbiosis::util {
 
 /// Fixed worker pool; tasks are std::function<void()>. Destruction joins all
@@ -30,6 +32,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; the future resolves when it completes (or rethrows).
+  /// Submitting to a pool whose destructor has begun is a hard error: the
+  /// workers may already have drained and exited, so the task could silently
+  /// never run and its future never resolve.
   template <typename F>
   [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
     using R = std::invoke_result_t<F>;
@@ -37,6 +42,7 @@ class ThreadPool {
     auto fut = task->get_future();
     {
       const std::scoped_lock lock(mutex_);
+      SYM_CHECK(!stopping_, "util.threadpool") << "submit() on a stopping ThreadPool";
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();

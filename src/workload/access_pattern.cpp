@@ -1,9 +1,10 @@
 #include "workload/access_pattern.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace symbiosis::workload {
 
@@ -209,7 +210,8 @@ class StackDistancePattern final : public PatternBase {
 }  // namespace
 
 std::unique_ptr<AccessPattern> make_pattern(const PatternSpec& spec, Addr base, util::Rng& rng) {
-  assert(base % spec.line_bytes == 0);
+  SYM_CHECK_EQ(base % spec.line_bytes, Addr{0}, "workload.pattern")
+      << "pattern base must be line-aligned";
   switch (spec.kind) {
     case PatternKind::Sequential: return std::make_unique<SequentialPattern>(spec, base);
     case PatternKind::Strided: return std::make_unique<StridedPattern>(spec, base);

@@ -49,8 +49,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, PatternBoundsTest,
                                          PatternKind::Random, PatternKind::Zipf,
                                          PatternKind::PointerChase, PatternKind::Stream,
                                          PatternKind::StackDistance),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
                            for (auto& ch : name) {
                              if (ch == '-') ch = '_';
                            }
@@ -172,7 +172,7 @@ TEST(Patterns, NameRoundTrip) {
                           PatternKind::StackDistance}) {
     EXPECT_EQ(parse_pattern(to_string(kind)), kind);
   }
-  EXPECT_THROW(parse_pattern("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pattern("bogus"), std::invalid_argument);
 }
 
 }  // namespace

@@ -53,7 +53,7 @@ TEST_P(SpecModelTest, CompletesAndRestarts) {
   auto w = make_spec_workload(GetParam(), 0, util::Rng{2}, scale);
   std::uint64_t steps = 0;
   while (!w->complete()) {
-    w->next();
+    (void)w->next();
     ASSERT_LT(++steps, 100'000u) << "did not complete";
   }
   EXPECT_EQ(w->refs_issued(), w->total_refs());
@@ -63,7 +63,7 @@ TEST_P(SpecModelTest, CompletesAndRestarts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPrograms, SpecModelTest, testing::ValuesIn(spec2006_pool()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(SpecModels, FootprintClassesMatchThePaper) {
   // The relative footprint ordering drives every scheduling result:
@@ -111,9 +111,9 @@ TEST(Workload, PhasesCycle) {
   spec.total_refs = 100;
   Workload w(spec, 0, util::Rng{3});
   EXPECT_EQ(w.current_phase(), 0u);
-  for (int i = 0; i < 10; ++i) w.next();
+  for (int i = 0; i < 10; ++i) (void)w.next();
   EXPECT_EQ(w.current_phase(), 1u);
-  for (int i = 0; i < 10; ++i) w.next();
+  for (int i = 0; i < 10; ++i) (void)w.next();
   EXPECT_EQ(w.current_phase(), 0u);  // cycles back
 }
 

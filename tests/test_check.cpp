@@ -1,0 +1,269 @@
+// test_check.cpp — the SYM_CHECK invariant framework (util/check.hpp):
+// macro semantics, the per-category violation registry, handler modes
+// (throw, log-and-count, abort death test), and a TSan-targeted stress of
+// ThreadPool::parallel_for exception propagation under concurrent checks.
+#include "util/check.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using symbiosis::util::check_mode;
+using symbiosis::util::check_violation_count;
+using symbiosis::util::check_violation_snapshot;
+using symbiosis::util::check_violation_total;
+using symbiosis::util::CheckError;
+using symbiosis::util::CheckMode;
+using symbiosis::util::reset_check_violations;
+using symbiosis::util::ScopedCheckMode;
+using symbiosis::util::ThreadPool;
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_check_violations(); }
+  void TearDown() override { reset_check_violations(); }
+};
+
+TEST_F(CheckTest, PassingChecksAreSilent) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  const std::size_t i = 3, n = 10;
+  SYM_CHECK(i < n);
+  SYM_CHECK(i < n, "test.named") << "never rendered";
+  SYM_CHECK_EQ(i, i);
+  SYM_CHECK_LT(i, n);
+  SYM_CHECK_LE(n, n);
+  SYM_CHECK_BOUNDS(i, n);
+  EXPECT_EQ(check_violation_total(), 0u);
+}
+
+TEST_F(CheckTest, ThrowModeThrowsCheckErrorWithContext) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  const int x = 7;
+  try {
+    SYM_CHECK(x == 8, "test.ctx") << "x was " << x;
+    FAIL() << "SYM_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x == 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("x was 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("[test.ctx]"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckTest, BinaryFormsRenderBothOperands) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  const std::size_t a = 3, b = 5;
+  try {
+    SYM_CHECK_EQ(a, b, "test.binary");
+    FAIL() << "SYM_CHECK_EQ did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("a == b"), std::string::npos) << what;
+    EXPECT_NE(what.find("(3 vs 5)"), std::string::npos) << what;
+  }
+  EXPECT_THROW(SYM_CHECK_LT(b, a), CheckError);
+  EXPECT_THROW(SYM_CHECK_LE(b, a), CheckError);
+  EXPECT_THROW(SYM_CHECK_BOUNDS(b, a), CheckError);
+}
+
+TEST_F(CheckTest, OperandsAreEvaluatedExactlyOnce) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  int evals = 0;
+  auto next = [&evals] { return ++evals; };
+  SYM_CHECK_LE(next(), 1, "test.single-eval");
+  EXPECT_EQ(evals, 1);
+  evals = 0;
+  EXPECT_THROW(SYM_CHECK_LT(next(), 0, "test.single-eval"), CheckError);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST_F(CheckTest, RegistryCountsPerCategory) {
+  const ScopedCheckMode guard(CheckMode::LogAndCount);
+  const auto old_level = symbiosis::util::log_level();
+  symbiosis::util::set_log_level(symbiosis::util::LogLevel::Off);
+
+  SYM_CHECK(false, "test.cat-a");
+  SYM_CHECK(false, "test.cat-a");
+  SYM_CHECK_EQ(1, 2, "test.cat-b");
+  SYM_CHECK(false);  // default category
+
+  EXPECT_EQ(check_violation_count("test.cat-a"), 2u);
+  EXPECT_EQ(check_violation_count("test.cat-b"), 1u);
+  EXPECT_EQ(check_violation_count("check"), 1u);
+  EXPECT_EQ(check_violation_count("test.never-fired"), 0u);
+  EXPECT_EQ(check_violation_total(), 4u);
+
+  bool saw_a = false;
+  for (const auto& [category, count] : check_violation_snapshot()) {
+    if (category == "test.cat-a") {
+      saw_a = true;
+      EXPECT_EQ(count, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+
+  reset_check_violations();
+  EXPECT_EQ(check_violation_total(), 0u);
+  EXPECT_EQ(check_violation_count("test.cat-a"), 0u);
+  symbiosis::util::set_log_level(old_level);
+}
+
+TEST_F(CheckTest, LogAndCountModeContinuesExecution) {
+  const ScopedCheckMode guard(CheckMode::LogAndCount);
+  const auto old_level = symbiosis::util::log_level();
+  symbiosis::util::set_log_level(symbiosis::util::LogLevel::Off);
+  bool reached = false;
+  SYM_CHECK(false, "test.soak") << "soak-mode violation";
+  reached = true;
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(check_violation_count("test.soak"), 1u);
+  symbiosis::util::set_log_level(old_level);
+}
+
+TEST_F(CheckTest, ThrowingChecksStillTickTheRegistry) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  EXPECT_THROW(SYM_CHECK(false, "test.pre-throw"), CheckError);
+  EXPECT_EQ(check_violation_count("test.pre-throw"), 1u);
+}
+
+TEST_F(CheckTest, ScopedCheckModeRestoresPreviousMode) {
+  const CheckMode before = check_mode();
+  {
+    const ScopedCheckMode guard(CheckMode::LogAndCount);
+    EXPECT_EQ(check_mode(), CheckMode::LogAndCount);
+    {
+      const ScopedCheckMode inner(CheckMode::Throw);
+      EXPECT_EQ(check_mode(), CheckMode::Throw);
+    }
+    EXPECT_EQ(check_mode(), CheckMode::LogAndCount);
+  }
+  EXPECT_EQ(check_mode(), before);
+}
+
+TEST_F(CheckTest, DanglingElseSafety) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  bool else_branch = false;
+  if (true)
+    SYM_CHECK(true, "test.dangling");
+  else
+    else_branch = true;
+  EXPECT_FALSE(else_branch);
+}
+
+#if SYMBIOSIS_DCHECK_ENABLED
+TEST_F(CheckTest, DchecksActiveInThisBuild) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  EXPECT_THROW(SYM_DCHECK(false, "test.dcheck"), CheckError);
+  EXPECT_THROW(SYM_DCHECK_EQ(1, 2, "test.dcheck"), CheckError);
+  EXPECT_THROW(SYM_DCHECK_LT(2, 1, "test.dcheck"), CheckError);
+  EXPECT_THROW(SYM_DCHECK_LE(2, 1, "test.dcheck"), CheckError);
+  EXPECT_THROW(SYM_DCHECK_BOUNDS(5, 5, "test.dcheck"), CheckError);
+  EXPECT_EQ(check_violation_count("test.dcheck"), 5u);
+}
+#else
+TEST_F(CheckTest, DchecksCompiledOutInThisBuild) {
+  const ScopedCheckMode guard(CheckMode::Throw);
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  SYM_DCHECK(bump() < 0, "test.dcheck") << "never built";
+  SYM_DCHECK_EQ(bump(), -1, "test.dcheck");
+  SYM_DCHECK_LT(bump(), -1, "test.dcheck");
+  SYM_DCHECK_LE(bump(), -1, "test.dcheck");
+  SYM_DCHECK_BOUNDS(bump(), 0, "test.dcheck");
+  EXPECT_EQ(evals, 0) << "disabled SYM_DCHECK must not evaluate operands";
+  EXPECT_EQ(check_violation_total(), 0u);
+}
+#endif
+
+// Death tests fork; ThreadSanitizer does not support running after fork in
+// threaded binaries, so skip them under TSan.
+#if !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SYMBIOSIS_TSAN_BUILD 1
+#endif
+#endif
+#ifndef SYMBIOSIS_TSAN_BUILD
+using CheckDeathTest = CheckTest;
+
+TEST_F(CheckDeathTest, AbortModeAborts) {
+  const ScopedCheckMode guard(CheckMode::Abort);
+  EXPECT_DEATH(SYM_CHECK(false, "test.abort") << "fatal by default",
+               "SYM_CHECK failed");
+}
+
+TEST_F(CheckDeathTest, AbortMessageNamesExpressionAndCategory) {
+  const ScopedCheckMode guard(CheckMode::Abort);
+  const std::size_t idx = 9, limit = 4;
+  EXPECT_DEATH(SYM_CHECK_BOUNDS(idx, limit, "test.abort-bounds"),
+               "idx < limit.*\\(9 vs 4\\).*\\[test.abort-bounds\\]");
+}
+#endif
+#endif
+
+// --- ThreadPool stress (TSan target) --------------------------------------
+// Exercises parallel_for's exception collection path under real contention:
+// many tasks throwing concurrently while others run to completion. Under the
+// tsan preset this validates the queue/cv/stopping_ protocol; everywhere it
+// validates first-error propagation and pool reusability.
+
+TEST(ThreadPoolStressTest, ParallelForPropagatesFirstExceptionUnderContention) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> completed{0};
+    std::atomic<int> thrown{0};
+    try {
+      pool.parallel_for(0, 64, [&](std::size_t i) {
+        if (i % 7 == 3) {
+          thrown.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("task " + std::to_string(i) + " failed");
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "parallel_for swallowed the task exceptions";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+    }
+    // Every task ran exactly once: throwers plus completers cover the range.
+    EXPECT_EQ(completed.load() + thrown.load(), 64);
+    EXPECT_GT(thrown.load(), 0);
+  }
+}
+
+TEST(ThreadPoolStressTest, PoolStaysUsableAfterExceptionRounds) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 8, [](std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPoolStressTest, ConcurrentViolationsCountedExactlyOnce) {
+  const ScopedCheckMode guard(CheckMode::LogAndCount);
+  const auto old_level = symbiosis::util::log_level();
+  symbiosis::util::set_log_level(symbiosis::util::LogLevel::Off);
+  reset_check_violations();
+
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 256;
+  pool.parallel_for(0, kTasks, [](std::size_t) {
+    SYM_CHECK(false, "test.concurrent") << "registry contention";
+  });
+  EXPECT_EQ(check_violation_count("test.concurrent"), kTasks);
+  EXPECT_EQ(check_violation_total(), kTasks);
+
+  reset_check_violations();
+  symbiosis::util::set_log_level(old_level);
+}
+
+}  // namespace

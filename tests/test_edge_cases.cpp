@@ -3,6 +3,8 @@
 
 #include "core/profile.hpp"
 #include "machine/machine.hpp"
+#include "sig/counting_bloom.hpp"
+#include "util/check.hpp"
 #include "vm/hypervisor.hpp"
 #include "workload/benchmark_model.hpp"
 
@@ -129,6 +131,39 @@ TEST(EdgeCases, HypervisorWithSingleGuestOnly) {
   const auto dom = hv.create_domain(one_phase("guest", 3, 10'000));
   EXPECT_TRUE(hv.run_to_all_complete());
   EXPECT_GT(hv.domain_user_cycles(dom), 0u);
+}
+
+TEST(EdgeCases, FilterInvariantsHoldAfterMixedRun) {
+  // Regression for the counter/bit-vector bookkeeping the SYM_CHECK wiring
+  // now guards: after sustained eviction + quantum-switch traffic, the
+  // signature unit's shared counters and per-core filters must still agree.
+  const util::ScopedCheckMode guard(util::CheckMode::Throw);
+  machine::Machine m(micro_machine());
+  m.add_task(one_phase("a", 0, 40'000), 0);
+  m.add_task(one_phase("b", 1, 40'000, workload::PatternKind::Stream), 1);
+  m.run_for(2'000'000);
+  const auto* filter = m.hierarchy().filter();
+  ASSERT_NE(filter, nullptr);
+  EXPECT_NO_THROW(filter->validate());
+  EXPECT_TRUE(m.run_to_all_complete());
+  EXPECT_NO_THROW(filter->validate());
+  EXPECT_EQ(util::check_violation_total(), 0u);
+}
+
+TEST(EdgeCases, CountingBloomStaysConsistentThroughChurn) {
+  // Saturating counters plus remove-on-zero no-ops must never corrupt the
+  // nonzero bookkeeping that validate() audits.
+  const util::ScopedCheckMode guard(util::CheckMode::Throw);
+  sig::CountingBloomFilter cbf(/*entries=*/64, /*counter_bits=*/2, /*k=*/3);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    for (std::uint64_t key = 0; key < 200; ++key) cbf.insert(key * 64);
+    EXPECT_NO_THROW(cbf.validate());
+    for (std::uint64_t key = 0; key < 200; ++key) cbf.remove(key * 64);
+    EXPECT_NO_THROW(cbf.validate());
+    // Removing keys that were never inserted is a defined no-op.
+    for (std::uint64_t key = 500; key < 520; ++key) cbf.remove(key * 64);
+    EXPECT_NO_THROW(cbf.validate());
+  }
 }
 
 TEST(EdgeCases, StreamWorkloadSurvivesQuantumBoundaries) {

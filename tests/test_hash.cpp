@@ -52,8 +52,8 @@ TEST_P(IndexHashTest, DerivedHashesDiffer) {
 INSTANTIATE_TEST_SUITE_P(AllFamilies, IndexHashTest,
                          testing::Values(HashKind::Xor, HashKind::XorInverseReverse,
                                          HashKind::Modulo, HashKind::Multiply),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
                            for (auto& ch : name) {
                              if (ch == '-') ch = '_';
                            }
@@ -108,7 +108,7 @@ TEST(HashKindNames, RoundTrip) {
                               HashKind::Presence, HashKind::Multiply}) {
     EXPECT_EQ(parse_hash_kind(to_string(kind)), kind);
   }
-  EXPECT_THROW(parse_hash_kind("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hash_kind("bogus"), std::invalid_argument);
 }
 
 }  // namespace

@@ -65,7 +65,7 @@ TEST(Integration, CoreFilterWeightBoundsAboveOccupancy) {
   // with a drained-counter clearing rule it must stay within the filter
   // size and never be persistently below the true footprint's sampled view.
   machine::Machine m(small_machine());
-  core::add_mix_tasks(m, {"gobmk", "sjeng"}, small_scale(0.2), 5);
+  (void)core::add_mix_tasks(m, {"gobmk", "sjeng"}, small_scale(0.2), 5);
   m.run_for(5'000'000);
   const auto* filter = m.hierarchy().filter();
   ASSERT_NE(filter, nullptr);
@@ -80,7 +80,7 @@ TEST(Integration, CoreFilterWeightBoundsAboveOccupancy) {
 
 TEST(Integration, InclusionHoldsUnderSustainedLoad) {
   machine::Machine m(small_machine());
-  core::add_mix_tasks(m, {"mcf", "libquantum"}, small_scale(0.2), 9);
+  (void)core::add_mix_tasks(m, {"mcf", "libquantum"}, small_scale(0.2), 9);
   m.run_for(3'000'000);
   // Spot-check: every valid L1 line must be present in the L2.
   auto& h = m.hierarchy();

@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, MinCutMethodTest,
                          testing::Values(MinCutMethod::Exhaustive, MinCutMethod::Greedy,
                                          MinCutMethod::KernighanLin, MinCutMethod::Spectral,
                                          MinCutMethod::Auto),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
                            for (auto& ch : name) {
                              if (ch == '-') ch = '_';
                            }
@@ -151,7 +151,7 @@ TEST(MinCut, MethodNameRoundTrip) {
                             MinCutMethod::Auto}) {
     EXPECT_EQ(parse_mincut_method(to_string(method)), method);
   }
-  EXPECT_THROW(parse_mincut_method("magic"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mincut_method("magic"), std::invalid_argument);
 }
 
 }  // namespace

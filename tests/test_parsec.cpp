@@ -71,7 +71,7 @@ TEST_P(ParsecModelTest, ThreadsCompleteIndependently) {
   spec.refs_per_thread = 100;
   auto threads = make_parsec_threads(spec, 0, util::Rng{2});
   for (auto& thread : threads) {
-    while (!thread->complete()) thread->next();
+    while (!thread->complete()) (void)thread->next();
     EXPECT_EQ(thread->refs_issued(), 100u);
     thread->restart();
     EXPECT_EQ(thread->refs_issued(), 0u);
@@ -79,7 +79,7 @@ TEST_P(ParsecModelTest, ThreadsCompleteIndependently) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPrograms, ParsecModelTest, testing::ValuesIn(parsec_pool()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(ParsecModel, ThreadNamesCarryTid) {
   const auto spec = make_parsec_benchmark("ferret");

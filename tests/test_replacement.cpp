@@ -96,7 +96,7 @@ TEST(Replacement, NameRoundTrip) {
                           ReplacementKind::TreePlru}) {
     EXPECT_EQ(parse_replacement(to_string(kind)), kind);
   }
-  EXPECT_THROW(parse_replacement("mru"), std::invalid_argument);
+  EXPECT_THROW((void)parse_replacement("mru"), std::invalid_argument);
 }
 
 }  // namespace
