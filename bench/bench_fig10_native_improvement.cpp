@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -19,13 +21,24 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_fig10", "Figure 10: native per-benchmark improvements");
   auto& per_benchmark = args.add_u64("per-benchmark", "mixes each benchmark appears in", 2);
   auto& seed = args.add_u64("seed", "RNG seed", 42);
+  auto& report_path = args.add_string("report", "JSON run-report output path ('' = none)", "");
   if (!args.parse(argc, argv)) return 1;
 
   std::printf("=== Figure 10: max/avg improvement per benchmark (native) ===\n\n");
   const core::PipelineConfig config = bench::default_pipeline(seed);
-  const auto summary = core::sweep_pool(config, workload::spec2006_pool(), 4,
-                                        static_cast<std::size_t>(per_benchmark));
+  obs::PhaseTimings timings;
+  core::SweepResult sweep;
+  {
+    obs::PhaseTimings::Scoped phase(timings, "run_sweep");
+    sweep = core::run_sweep(config, workload::spec2006_pool(), 4,
+                            static_cast<std::size_t>(per_benchmark));
+  }
+  const auto& summary = sweep.summary;
   bench::print_improvements("weighted interference graph, chosen-vs-worst:", summary);
+  if (!report_path.empty()) {
+    core::write_report_file(core::build_sweep_report(config, sweep, timings), report_path);
+    std::printf("wrote %s\n", report_path.c_str());
+  }
   std::printf(
       "Expected shape (paper): mcf and omnetpp lead (54%% / 49%% max), astar and the\n"
       "mid-pool follow, povray (compute-bound) and hmmer (bandwidth-bound) gain ~0;\n"

@@ -1,0 +1,9 @@
+// Applies SYMBIOSIS_LOG before any benchmark runs. The micro-benchmarks use
+// benchmark_main's main(), which never touches util::ArgParser (the normal
+// carrier of init_log_from_env), so a static initializer fills the gap.
+#include "util/log.hpp"
+
+namespace {
+[[maybe_unused]] const symbiosis::util::LogLevel g_level_from_env =
+    symbiosis::util::init_log_from_env();
+}  // namespace

@@ -10,6 +10,8 @@
 #include <sstream>
 
 #include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   auto& seed = args.add_u64("seed", "RNG seed", 42);
   auto& vm = args.add_flag("vm", "measure inside VMs on the hypervisor");
   auto& csv_path = args.add_string("csv", "CSV output path ('' = none)", "");
+  auto& report_path = args.add_string("report", "JSON run-report output path ('' = none)", "");
   if (!args.parse(argc, argv)) return 1;
 
   std::vector<std::string> mix;
@@ -54,7 +57,12 @@ int main(int argc, char** argv) {
   config.virtualized = vm;
   config.measure_max_cycles = 8'000'000'000ull;
 
-  const core::MixOutcome outcome = core::run_mix_experiment(config, mix);
+  obs::PhaseTimings timings;
+  core::MixOutcome outcome;
+  {
+    obs::PhaseTimings::Scoped phase(timings, "run_mix_experiment");
+    outcome = core::run_mix_experiment(config, mix);
+  }
 
   util::TextTable table;
   std::vector<std::string> header = {"benchmark"};
@@ -96,6 +104,11 @@ int main(int argc, char** argv) {
       csv.row(row);
     }
     std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+
+  if (!report_path.empty()) {
+    core::write_report_file(core::build_mix_report(config, outcome, timings), report_path);
+    std::printf("\nwrote %s\n", report_path.c_str());
   }
   return 0;
 }

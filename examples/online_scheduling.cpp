@@ -13,6 +13,8 @@
 #include <sstream>
 
 #include "core/online.hpp"
+#include "core/report.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   auto& allocator = args.add_string("allocator", "allocation policy", "weighted-graph");
   auto& confirm = args.add_u64("confirm", "windows a mapping must win before applying", 2);
   auto& seed = args.add_u64("seed", "RNG seed", 42);
+  auto& report_path = args.add_string("report", "JSON run-report output path ('' = none)", "");
   if (!args.parse(argc, argv)) return 1;
 
   std::vector<std::string> mix;
@@ -41,9 +44,19 @@ int main(int argc, char** argv) {
   config.pipeline.measure_max_cycles = 4'000'000'000ull;
   config.confirm_windows = static_cast<unsigned>(confirm);
 
-  const auto solo = core::solo_user_cycles(config.pipeline, mix);
-  const core::OnlineRun base = core::run_online_baseline(config, mix);
-  const core::OnlineRun live = core::run_online(config, mix);
+  obs::PhaseTimings timings;
+  const auto solo = [&] {
+    obs::PhaseTimings::Scoped phase(timings, "solo_user_cycles");
+    return core::solo_user_cycles(config.pipeline, mix);
+  }();
+  const core::OnlineRun base = [&] {
+    obs::PhaseTimings::Scoped phase(timings, "run_online_baseline");
+    return core::run_online_baseline(config, mix);
+  }();
+  const core::OnlineRun live = [&] {
+    obs::PhaseTimings::Scoped phase(timings, "run_online");
+    return core::run_online(config, mix);
+  }();
 
   util::TextTable table({"task", "solo (Mcyc)", "default (Mcyc)", "live (Mcyc)",
                          "default slowdown", "live slowdown"});
@@ -66,5 +79,11 @@ int main(int argc, char** argv) {
               live.repinnings, live.final_mapping_key.c_str(),
               static_cast<double>(base.wall_cycles) / 1e6,
               static_cast<double>(live.wall_cycles) / 1e6);
+
+  if (!report_path.empty()) {
+    core::write_report_file(core::build_online_report(config, live, &base, timings),
+                            report_path);
+    std::printf("wrote %s\n", report_path.c_str());
+  }
   return 0;
 }

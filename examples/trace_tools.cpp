@@ -1,24 +1,45 @@
-// trace_tools — record a workload's reference stream to a file, replay it
-// through the machine, and verify the replay is cycle-identical.
+// trace_tools — trace + run-report tooling.
 //
-// The trace path is how externally captured address streams (e.g. from a
-// real PIN/DynamoRIO run) would be plugged into the signature/scheduling
-// pipeline: anything that yields Steps is schedulable. This example records
-// a synthetic benchmark, reloads it as a TraceStream, runs both through
-// identical machines, and diffs the timing and signature results.
+// Subcommands:
+//   roundtrip  record a workload's reference stream, replay it twice through
+//              identical machines, and verify the replays are cycle-identical
+//              (the default when no subcommand is given);
+//   inspect    summarize a run report JSON (kind, config, outcome counts) or
+//              print the value at a --path like "outcomes.0.chosen";
+//   diff       field-by-field comparison of two run reports, ignoring the
+//              volatile "timings"/"metrics" sections unless --all;
+//   validate   check a report against the symbiosis.run_report schema.
 //
-//   ./trace_tools [--benchmark mcf] [--refs 200000] [--out /tmp/mcf.symt]
+//   ./trace_tools roundtrip [--benchmark mcf] [--refs 200000] [--out f.symt]
+//   ./trace_tools inspect report.json [--path summary.0.name]
+//   ./trace_tools diff a.json b.json [--all]
+//   ./trace_tools validate report.json
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "core/report.hpp"
 #include "machine/machine.hpp"
+#include "obs/json.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/trace.hpp"
 
-int main(int argc, char** argv) {
-  using namespace symbiosis;
+namespace {
 
-  util::ArgParser args("trace_tools", "record / replay reference streams");
+using namespace symbiosis;
+
+obs::Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return obs::Json::parse(buffer.str());
+}
+
+int cmd_roundtrip(int argc, char** argv) {
+  util::ArgParser args("trace_tools roundtrip", "record / replay reference streams");
   auto& benchmark = args.add_string("benchmark", "pool program to record", "mcf");
   auto& refs = args.add_u64("refs", "references to record", 200'000);
   auto& out = args.add_string("out", "trace file path", "/tmp/symbiosis_trace.symt");
@@ -38,8 +59,8 @@ int main(int argc, char** argv) {
                 out.c_str());
   }
 
-  // 2. Run the live generator and the replayed trace through identical
-  //    machines; both must produce identical timing and signatures.
+  // 2. Run the replayed trace twice through identical machines; both must
+  //    produce identical timing and signatures.
   auto run = [&](std::unique_ptr<workload::TaskStream> stream) {
     machine::Machine m(machine::core2duo_config());
     const auto id = m.add_task(std::move(stream), 0);
@@ -49,8 +70,6 @@ int main(int argc, char** argv) {
                       t.signature().latest_occupancy()};
   };
 
-  // Live twin: same generator, truncated to the recorded length by
-  // replaying the recorded steps it produced.
   const auto steps = workload::read_trace(out);
   auto [cycles_a, misses_a, occ_a] =
       run(std::make_unique<workload::TraceStream>(benchmark + ".replay1", steps));
@@ -70,4 +89,114 @@ int main(int argc, char** argv) {
   }
   std::printf("\nreplays are cycle-identical: trace-driven runs are exactly reproducible.\n");
   return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  util::ArgParser args("trace_tools inspect", "summarize a run report JSON");
+  auto& path_arg = args.add_string("path", "dot path to print instead of the summary", "");
+  if (!args.parse(argc, argv)) return 1;
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: trace_tools inspect <report.json> [--path a.b.c]\n");
+    return 1;
+  }
+
+  const obs::Json report = load_json(args.positional().front());
+  if (!path_arg.empty()) {
+    const obs::Json* node = obs::json_at_path(report, path_arg);
+    if (!node) {
+      std::fprintf(stderr, "inspect: no value at path \"%s\"\n", path_arg.c_str());
+      return 1;
+    }
+    std::printf("%s\n", node->dump(2).c_str());
+    return 0;
+  }
+
+  auto str = [&](const char* key) {
+    const obs::Json* v = report.find(key);
+    return v && v->is_string() ? v->as_string() : std::string("?");
+  };
+  std::printf("schema:  %s v%llu\n", str("schema").c_str(),
+              static_cast<unsigned long long>(
+                  report.find("schema_version") ? report.at("schema_version").as_u64() : 0));
+  std::printf("kind:    %s\n", str("kind").c_str());
+  if (const obs::Json* config = report.find("config")) {
+    std::printf("config:  allocator=%s seed=%llu\n", config->at("allocator").as_string().c_str(),
+                static_cast<unsigned long long>(config->at("seed").as_u64()));
+  }
+  if (const obs::Json* outcomes = report.find("outcomes")) {
+    std::printf("sweep:   %zu mixes\n", outcomes->size());
+  }
+  if (const obs::Json* summary = report.find("summary")) {
+    util::TextTable table({"benchmark", "mixes", "max impr", "avg impr", "max oracle"});
+    for (const auto& entry : summary->as_array()) {
+      table.add_row({entry.at("name").as_string(), std::to_string(entry.at("mixes").as_i64()),
+                     util::TextTable::pct(entry.at("max_improvement").as_double()),
+                     util::TextTable::pct(entry.at("avg_improvement").as_double()),
+                     util::TextTable::pct(entry.at("max_oracle").as_double())});
+    }
+    table.print();
+  }
+  if (const obs::Json* metrics = report.find("metrics")) {
+    std::printf("metrics: %zu registered\n", metrics->size());
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  util::ArgParser args("trace_tools diff", "field-by-field run report comparison");
+  auto& all = args.add_flag("all", "also compare the volatile timings/metrics sections");
+  if (!args.parse(argc, argv)) return 1;
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr, "usage: trace_tools diff <a.json> <b.json> [--all]\n");
+    return 1;
+  }
+
+  const obs::Json a = load_json(args.positional()[0]);
+  const obs::Json b = load_json(args.positional()[1]);
+  const std::vector<std::string> ignore =
+      all ? std::vector<std::string>{} : std::vector<std::string>{"timings", "metrics"};
+  const auto differences = obs::json_diff(a, b, ignore);
+  for (const auto& d : differences) std::printf("%s\n", d.c_str());
+  if (differences.empty()) {
+    std::printf("reports are identical%s\n", all ? "" : " (timings/metrics ignored)");
+    return 0;
+  }
+  std::printf("%zu difference(s)\n", differences.size());
+  return 1;
+}
+
+int cmd_validate(int argc, char** argv) {
+  util::ArgParser args("trace_tools validate", "check a report against the schema");
+  if (!args.parse(argc, argv)) return 1;
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: trace_tools validate <report.json>\n");
+    return 1;
+  }
+
+  const obs::Json report = load_json(args.positional().front());
+  const auto problems = core::validate_report(report);
+  for (const auto& p : problems) std::printf("%s\n", p.c_str());
+  if (problems.empty()) {
+    std::printf("valid %s v%llu report\n", std::string(core::kReportSchema).c_str(),
+                static_cast<unsigned long long>(core::kReportSchemaVersion));
+    return 0;
+  }
+  std::printf("%zu problem(s)\n", problems.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string sub = argc > 1 ? argv[1] : "";
+  try {
+    if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
+    if (sub == "diff") return cmd_diff(argc - 1, argv + 1);
+    if (sub == "validate") return cmd_validate(argc - 1, argv + 1);
+    if (sub == "roundtrip") return cmd_roundtrip(argc - 1, argv + 1);
+    return cmd_roundtrip(argc, argv);  // legacy invocation, no subcommand
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_tools %s: %s\n", sub.c_str(), e.what());
+    return 1;
+  }
 }

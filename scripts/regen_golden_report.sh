@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate tests/data/golden_report.json after an INTENTIONAL change to
+# the report schema or to the simulation itself.
+#
+# The golden file pins the deterministic sections ("config", "mixes",
+# "outcomes", "summary") of a fixed-seed 2-mix sweep; the volatile
+# "timings"/"metrics" sections are written but never compared (DESIGN.md §9).
+# GoldenReport.FixedSeedSweepMatchesCommittedGolden rewrites the file when
+# SYMBIOSIS_REGEN_GOLDEN is set, instead of comparing against it.
+#
+# Usage: scripts/regen_golden_report.sh
+# Then review `git diff tests/data/golden_report.json` and commit it together
+# with the change that moved the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target symbiosis_tests > /dev/null
+SYMBIOSIS_REGEN_GOLDEN=1 ./build/tests/symbiosis_tests \
+  --gtest_filter='GoldenReport.*'
+
+git --no-pager diff --stat tests/data/golden_report.json || true
+echo "review the diff above, then commit tests/data/golden_report.json"

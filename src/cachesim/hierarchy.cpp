@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::cachesim {
@@ -86,6 +88,9 @@ MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
   }
 
   if (l2r.evicted) {
+    SYM_RECORD((obs::L2EvictionEvent{l2r.victim_line, static_cast<std::uint32_t>(l2r.set),
+                                     static_cast<std::uint32_t>(l2r.way),
+                                     static_cast<std::uint32_t>(core)}));
     // Enforce L1 ⊆ L2 inclusion: the displaced line may not linger in any L1.
     if (config_.shared_l2) {
       for (auto& l1 : l1_) l1->invalidate(l2r.victim_line);
@@ -114,6 +119,34 @@ std::size_t Hierarchy::l2_footprint(std::size_t core) const {
   return l2.occupancy(config_.shared_l2 ? core : Cache::kAnyRequestor);
 }
 
+void Hierarchy::publish_metrics() {
+  PublishedStats now;
+  for (const auto& l1 : l1_) {
+    now.l1_hits += l1->stats().hits;
+    now.l1_misses += l1->stats().misses;
+  }
+  for (const auto& l2 : l2_) {
+    now.l2_hits += l2->stats().hits;
+    now.l2_misses += l2->stats().misses;
+    now.l2_evictions += l2->stats().evictions;
+  }
+  for (const auto& tlb : tlb_) now.tlb_misses += tlb->misses();
+
+  static obs::Counter& l1_hit = obs::counter("cachesim.l1.hit");
+  static obs::Counter& l1_miss = obs::counter("cachesim.l1.miss");
+  static obs::Counter& l2_hit = obs::counter("cachesim.l2.hit");
+  static obs::Counter& l2_miss = obs::counter("cachesim.l2.miss");
+  static obs::Counter& l2_eviction = obs::counter("cachesim.l2.eviction");
+  static obs::Counter& tlb_miss = obs::counter("cachesim.tlb.miss");
+  l1_hit.add(now.l1_hits - published_.l1_hits);
+  l1_miss.add(now.l1_misses - published_.l1_misses);
+  l2_hit.add(now.l2_hits - published_.l2_hits);
+  l2_miss.add(now.l2_misses - published_.l2_misses);
+  l2_eviction.add(now.l2_evictions - published_.l2_evictions);
+  tlb_miss.add(now.tlb_misses - published_.tlb_misses);
+  published_ = now;
+}
+
 void Hierarchy::reset() {
   for (auto& l1 : l1_) l1->reset();
   for (auto& l2 : l2_) l2->reset();
@@ -123,6 +156,9 @@ void Hierarchy::reset() {
   }
   if (filter_) filter_->reset();
   for (auto& ss : stream_) ss = StreamState{};
+  // The metric baseline tracks the per-cache stats we just zeroed; without
+  // this the next publish_metrics() would compute wrapped-around deltas.
+  published_ = PublishedStats{};
 }
 
 }  // namespace symbiosis::cachesim

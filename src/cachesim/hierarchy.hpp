@@ -99,6 +99,12 @@ class Hierarchy {
   /// Fig 2/5 reference series.
   [[nodiscard]] std::size_t l2_footprint(std::size_t core) const;
 
+  /// Publish cache/TLB counter DELTAS since the last publish into the global
+  /// obs::MetricRegistry ("cachesim.l1.hit", "cachesim.l2.miss", ...). The
+  /// per-access hot path stays free of atomics; the Machine calls this at
+  /// cold boundaries (hook firings and end of run).
+  void publish_metrics();
+
   /// Clear all caches, TLBs, filters and stats.
   void reset();
 
@@ -116,6 +122,14 @@ class Hierarchy {
     bool valid = false;
   };
   std::vector<StreamState> stream_;
+
+  /// Counter totals as of the last publish_metrics() (delta baseline).
+  struct PublishedStats {
+    std::uint64_t l1_hits = 0, l1_misses = 0;
+    std::uint64_t l2_hits = 0, l2_misses = 0, l2_evictions = 0;
+    std::uint64_t tlb_misses = 0;
+  };
+  PublishedStats published_;
 };
 
 }  // namespace symbiosis::cachesim

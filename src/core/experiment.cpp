@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sched/policy.hpp"
 #include "util/log.hpp"
 
@@ -51,6 +52,7 @@ std::size_t locate_or_add(std::vector<MappingRun>& mappings, const sched::Alloca
 }  // namespace
 
 MixOutcome run_mix_experiment(const PipelineConfig& config, const std::vector<std::string>& mix) {
+  obs::counter("core.mixes.run").add(1);
   MixOutcome outcome;
   outcome.mix = mix;
 
@@ -72,6 +74,7 @@ MixOutcome run_mix_experiment(const PipelineConfig& config, const std::vector<st
 
 MixOutcome run_mix_experiment_mt(const PipelineConfig& config, const std::vector<std::string>& mix,
                                  std::size_t sampled_mappings) {
+  obs::counter("core.mixes.run").add(1);
   MixOutcome outcome;
   outcome.mix = mix;
 
@@ -171,26 +174,37 @@ std::vector<BenchmarkImprovement> summarize_improvements(
   return summary;
 }
 
+SweepResult run_sweep(const PipelineConfig& config, const std::vector<std::string>& pool,
+                      std::size_t mix_size, std::size_t per_benchmark, bool multithreaded,
+                      util::ThreadPool* pool_threads) {
+  SweepResult result;
+  result.mixes = sample_mixes(pool, mix_size, per_benchmark, config.seed);
+  SYMBIOSIS_LOG_INFO("run_sweep: %zu mixes of %zu from a pool of %zu", result.mixes.size(),
+                     mix_size, pool.size());
+  result.outcomes.resize(result.mixes.size());
+
+  // Each experiment builds its own Machine from the shared config and writes
+  // only outcomes[i], so the result is independent of worker interleaving —
+  // the determinism suite pins this down for 1/2/8-thread pools vs serial.
+  auto run_one = [&](std::size_t i) {
+    result.outcomes[i] = multithreaded ? run_mix_experiment_mt(config, result.mixes[i])
+                                       : run_mix_experiment(config, result.mixes[i]);
+  };
+  if (pool_threads) {
+    pool_threads->parallel_for(0, result.mixes.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < result.mixes.size(); ++i) run_one(i);
+  }
+  result.summary = summarize_improvements(pool, result.outcomes);
+  return result;
+}
+
 std::vector<BenchmarkImprovement> sweep_pool(const PipelineConfig& config,
                                              const std::vector<std::string>& pool,
                                              std::size_t mix_size, std::size_t per_benchmark,
                                              bool multithreaded,
                                              util::ThreadPool* pool_threads) {
-  const auto mixes = sample_mixes(pool, mix_size, per_benchmark, config.seed);
-  SYMBIOSIS_LOG_INFO("sweep_pool: %zu mixes of %zu from a pool of %zu", mixes.size(), mix_size,
-                     pool.size());
-  std::vector<MixOutcome> outcomes(mixes.size());
-
-  auto run_one = [&](std::size_t i) {
-    outcomes[i] = multithreaded ? run_mix_experiment_mt(config, mixes[i])
-                                : run_mix_experiment(config, mixes[i]);
-  };
-  if (pool_threads) {
-    pool_threads->parallel_for(0, mixes.size(), run_one);
-  } else {
-    for (std::size_t i = 0; i < mixes.size(); ++i) run_one(i);
-  }
-  return summarize_improvements(pool, outcomes);
+  return run_sweep(config, pool, mix_size, per_benchmark, multithreaded, pool_threads).summary;
 }
 
 }  // namespace symbiosis::core

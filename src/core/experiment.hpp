@@ -29,6 +29,10 @@ struct MixOutcome {
   [[nodiscard]] double improvement_vs_worst(std::size_t i) const;
   /// Headroom: improvement of the best possible mapping over the worst.
   [[nodiscard]] double oracle_improvement(std::size_t i) const;
+
+  /// Field-wise equality: the determinism suite asserts serial and
+  /// thread-pool sweeps produce BIT-IDENTICAL outcomes for one seed.
+  [[nodiscard]] bool operator==(const MixOutcome&) const = default;
 };
 
 /// Run the full experiment for one single-threaded mix. When
@@ -65,14 +69,33 @@ struct BenchmarkImprovement {
     return mixes ? sum_improvement / mixes : 0.0;
   }
   [[nodiscard]] double avg_oracle() const noexcept { return mixes ? sum_oracle / mixes : 0.0; }
+
+  [[nodiscard]] bool operator==(const BenchmarkImprovement&) const = default;
 };
 
 /// Fold outcomes into per-benchmark max/avg improvements, ordered by @p pool.
 [[nodiscard]] std::vector<BenchmarkImprovement> summarize_improvements(
     const std::vector<std::string>& pool, const std::vector<MixOutcome>& outcomes);
 
-/// Convenience driver for Figs 10–12: sample mixes, run experiments (in
-/// parallel when @p pool_threads is non-null), summarize.
+/// Everything one sweep produced: the sampled mixes, the raw per-mix
+/// outcomes (in mix order, independent of execution interleaving), and the
+/// per-benchmark summary. Report export and the determinism suite need the
+/// raw outcomes; sweep_pool() keeps returning just the summary.
+struct SweepResult {
+  std::vector<std::vector<std::string>> mixes;
+  std::vector<MixOutcome> outcomes;
+  std::vector<BenchmarkImprovement> summary;
+};
+
+/// Full-fidelity sweep driver: sample mixes, run experiments (in parallel
+/// when @p pool_threads is non-null), summarize. Outcomes are stored at the
+/// index of their mix, so the result is identical for any worker count.
+[[nodiscard]] SweepResult run_sweep(const PipelineConfig& config,
+                                    const std::vector<std::string>& pool, std::size_t mix_size,
+                                    std::size_t per_benchmark, bool multithreaded = false,
+                                    util::ThreadPool* pool_threads = nullptr);
+
+/// Convenience driver for Figs 10–12: run_sweep, keep only the summary.
 [[nodiscard]] std::vector<BenchmarkImprovement> sweep_pool(
     const PipelineConfig& config, const std::vector<std::string>& pool, std::size_t mix_size,
     std::size_t per_benchmark, bool multithreaded = false,

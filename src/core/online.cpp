@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/profile.hpp"
+#include "obs/metrics.hpp"
 #include "sched/policy.hpp"
 
 namespace symbiosis::core {
@@ -50,6 +51,7 @@ OnlineRun run_online(const OnlineConfig& config, const std::vector<std::string>&
       apply_allocation(mm, ids, alloc);
       applied_key = key;
       ++repinnings;
+      obs::counter("core.online.repinnings").add(1);
     }
     clear_signature_windows(mm);
   });

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sched/policy.hpp"
 #include "util/log.hpp"
 #include "workload/parsec_model.hpp"
@@ -49,6 +51,7 @@ sched::Allocation SymbioticScheduler::run_phase1(machine::Machine& m,
     if (!ready) return;
     const sched::Allocation alloc = allocator->allocate(profiles, cores);
     const std::string key = alloc.key();
+    obs::counter("core.phase1.votes").add(1);
     ++votes_[key];
     vote_allocations_.emplace(key, alloc.canonical());
     // §4.1: during emulation the allocator only VOTES — tasks keep running
@@ -61,7 +64,9 @@ sched::Allocation SymbioticScheduler::run_phase1(machine::Machine& m,
 
   // Fixed emulation window; finished benchmarks restart and keep feeding
   // signatures (§4.1 fast-forwards then emulates a fixed instruction count).
+  SYM_RECORD((obs::PhaseEvent{m.now(), "phase1.emulate"}));
   m.run_for(config_.emulation_cycles);
+  SYM_RECORD((obs::PhaseEvent{m.now(), "phase1.vote"}));
 
   if (votes_.empty()) {
     SYMBIOSIS_LOG_WARN("phase 1 cast no votes (emulation too short?); using default mapping");

@@ -56,6 +56,9 @@ struct MappingRun {
   std::vector<std::uint64_t> user_cycles;  ///< first-completion user time
   std::uint64_t wall_cycles = 0;         ///< simulated time until all completed
   bool completed = false;
+
+  /// Field-wise equality (the determinism suite compares whole runs).
+  [[nodiscard]] bool operator==(const MappingRun&) const = default;
 };
 
 /// The two-phase symbiotic scheduling pipeline.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::machine {
@@ -73,6 +75,8 @@ void Machine::record_signature(std::size_t core, Task& task) {
   sig::FilterUnit* filter = hierarchy_.filter();
   if (!filter) return;
   const sig::BitVector rbv = filter->compute_rbv(core);
+  static obs::Histogram& popcount_hist = obs::histogram("sig.rbv.popcount");
+  popcount_hist.observe(rbv.popcount());
   sig::SignatureSample sample;
   sample.core = core;
   sample.occupancy_weight = rbv.popcount();
@@ -131,6 +135,9 @@ bool Machine::switch_in(std::size_t core) {
 
   ++tasks_[id]->counters().context_switches;
   ++stats_.context_switches;
+  SYM_RECORD((obs::ContextSwitchEvent{clock_[core], static_cast<std::uint32_t>(core),
+                                      static_cast<std::uint64_t>(id),
+                                      static_cast<std::uint64_t>(tasks_[id]->pid())}));
   return true;
 }
 
@@ -207,9 +214,21 @@ void Machine::fire_due_hooks() {
   if (!hook_) return;
   while (now() >= next_hook_) {
     ++stats_.hook_invocations;
+    publish_metrics();
     hook_(*this);
     next_hook_ += hook_period_;
   }
+}
+
+void Machine::publish_metrics() {
+  static obs::Counter& switches = obs::counter("machine.context_switch");
+  static obs::Counter& steps = obs::counter("machine.steps");
+  static obs::Counter& hooks = obs::counter("machine.hook_invocations");
+  switches.add(stats_.context_switches - published_.context_switches);
+  steps.add(stats_.steps - published_.steps);
+  hooks.add(stats_.hook_invocations - published_.hook_invocations);
+  published_ = stats_;
+  hierarchy_.publish_metrics();
 }
 
 bool Machine::run_to_all_complete(std::uint64_t max_cycles) {
@@ -219,18 +238,23 @@ bool Machine::run_to_all_complete(std::uint64_t max_cycles) {
       return t->background || t->completed_runs >= 1;
     });
   };
+  bool completed = true;
   while (!all_done()) {
-    if (deadline && now() >= deadline) return false;
-    if (!advance_one()) return false;
+    if ((deadline && now() >= deadline) || !advance_one()) {
+      completed = false;
+      break;
+    }
   }
-  return true;
+  publish_metrics();
+  return completed;
 }
 
 void Machine::run_for(std::uint64_t cycles) {
   const std::uint64_t deadline = now() + cycles;
   while (now() < deadline) {
-    if (!advance_one()) return;
+    if (!advance_one()) break;
   }
+  publish_metrics();
 }
 
 }  // namespace symbiosis::machine

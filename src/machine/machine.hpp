@@ -87,6 +87,11 @@ class Machine {
   /// Task currently on @p core, or nullptr.
   [[nodiscard]] const Task* running_on(std::size_t core) const;
 
+  /// Publish machine + hierarchy counter deltas into the global
+  /// obs::MetricRegistry. Called automatically at hook firings and when a
+  /// run_* entry point returns; safe to call manually at any quiescent point.
+  void publish_metrics();
+
  private:
   static constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
 
@@ -117,6 +122,8 @@ class Machine {
   util::Rng jitter_rng_{0x71773e5u};
 
   MachineStats stats_;
+  /// Totals as of the last publish_metrics() (delta baseline).
+  MachineStats published_;
 };
 
 /// Address-space base for process @p pid: 1 TiB apart so distinct processes

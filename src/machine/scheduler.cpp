@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::machine {
@@ -92,6 +93,10 @@ void Scheduler::yield(std::size_t core, TaskId task) {
     // OS load balancing: unpinned tasks occasionally drift to the emptiest
     // queue; otherwise they stay put (cache-affinity-style stickiness).
     target = rng_.next_bool(migration_prob_) ? least_loaded_core() : assignment_[task];
+    if (target != assignment_[task]) {
+      static obs::Counter& migrations = obs::counter("machine.sched.migrations");
+      migrations.add(1);
+    }
   }
   (void)core;
   SYM_DCHECK_BOUNDS(target, queues_.size(), "machine.affinity")

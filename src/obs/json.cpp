@@ -1,0 +1,486 @@
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace symbiosis::obs {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, const Json& got) {
+  throw JsonError(std::string("json: expected ") + want + ", got " + got.dump());
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const auto* v = std::get_if<bool>(&value_)) return *v;
+  type_error("bool", *this);
+}
+
+std::uint64_t Json::as_u64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i >= 0) return static_cast<std::uint64_t>(*i);
+  }
+  type_error("non-negative integer", *this);
+}
+
+std::int64_t Json::as_i64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+      return static_cast<std::int64_t>(*u);
+    }
+  }
+  type_error("integer", *this);
+}
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return static_cast<double>(*u);
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return static_cast<double>(*i);
+  type_error("number", *this);
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", *this);
+}
+
+const Json::Array& Json::as_array() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", *this);
+}
+
+const Json::Members& Json::as_object() const {
+  if (const auto* o = std::get_if<Members>(&value_)) return *o;
+  type_error("object", *this);
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (!is_object()) value_ = Members{};
+  auto& members = std::get<Members>(value_);
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  const auto* members = std::get_if<Members>(&value_);
+  if (!members) return nullptr;
+  for (const auto& [k, v] : *members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (!found) throw JsonError("json: missing member '" + std::string(key) + "'");
+  return *found;
+}
+
+void Json::push_back(Json value) {
+  if (!is_array()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+std::size_t Json::size() const noexcept {
+  if (const auto* a = std::get_if<Array>(&value_)) return a->size();
+  if (const auto* o = std::get_if<Members>(&value_)) return o->size();
+  return 0;
+}
+
+bool Json::operator==(const Json& other) const {
+  // Integer kinds compare across signedness; everything else needs the same
+  // alternative. A double never equals an integer kind (parse both sides of
+  // a comparison from text so kinds agree).
+  const auto* u_a = std::get_if<std::uint64_t>(&value_);
+  const auto* i_a = std::get_if<std::int64_t>(&value_);
+  const auto* u_b = std::get_if<std::uint64_t>(&other.value_);
+  const auto* i_b = std::get_if<std::int64_t>(&other.value_);
+  if ((u_a || i_a) && (u_b || i_b)) {
+    if (i_a && *i_a < 0) return i_b && *i_a == *i_b;
+    if (i_b && *i_b < 0) return false;
+    const std::uint64_t a = u_a ? *u_a : static_cast<std::uint64_t>(*i_a);
+    const std::uint64_t b = u_b ? *u_b : static_cast<std::uint64_t>(*i_b);
+    return a == b;
+  }
+  return value_ == other.value_;
+}
+
+std::string Json::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    out += std::to_string(*u);
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (!std::isfinite(*d)) throw JsonError("json: non-finite double");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", *d);
+    // An integer-looking token would reparse as the integer kind and break
+    // the dump/parse round trip (kinds compare distinct). Keep it a double.
+    if (!std::strpbrk(buf, ".eE")) std::strcat(buf, ".0");
+    out += buf;
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += escape(*s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    out.push_back('[');
+    for (std::size_t k = 0; k < arr->size(); ++k) {
+      if (k) out.push_back(',');
+      newline(depth + 1);
+      (*arr)[k].dump_to(out, indent, depth + 1);
+    }
+    if (!arr->empty()) newline(depth);
+    out.push_back(']');
+  } else {
+    const auto& members = std::get<Members>(value_);
+    out.push_back('{');
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (k) out.push_back(',');
+      newline(depth + 1);
+      out += escape(members[k].first);
+      out += indent > 0 ? ": " : ":";
+      members[k].second.dump_to(out, indent, depth + 1);
+    }
+    if (!members.empty()) newline(depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (obj.find(key)) fail("duplicate key '" + key + "'");
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+            else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
+            else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Reports only ever emit \u00xx control escapes; reject the rest
+          // rather than silently mangling UTF-16 surrogates.
+          if (code > 0xFF) fail("unsupported \\u escape above \\u00ff");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && peek() >= '0' && peek() <= '9') ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("bad number");
+    errno = 0;
+    char* end = nullptr;
+    if (!is_double) {
+      if (token.front() == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(static_cast<std::int64_t>(v));
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(static_cast<std::uint64_t>(v));
+        }
+      }
+      // fall through: integer overflow -> double
+    }
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size() || !std::isfinite(v)) {
+      fail("bad number '" + token + "'");
+    }
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+const Json* json_at_path(const Json& root, std::string_view path) {
+  const Json* node = &root;
+  while (!path.empty()) {
+    const std::size_t dot = path.find('.');
+    const std::string_view segment = path.substr(0, dot);
+    path = dot == std::string_view::npos ? std::string_view{} : path.substr(dot + 1);
+    if (node->is_array()) {
+      std::size_t index = 0;
+      for (const char ch : segment) {
+        if (ch < '0' || ch > '9') return nullptr;
+        index = index * 10 + static_cast<std::size_t>(ch - '0');
+      }
+      if (segment.empty() || index >= node->size()) return nullptr;
+      node = &node->as_array()[index];
+    } else {
+      node = node->find(segment);
+      if (!node) return nullptr;
+    }
+  }
+  return node;
+}
+
+namespace {
+
+bool ignored(const std::string& path, const std::vector<std::string>& prefixes) {
+  for (const auto& prefix : prefixes) {
+    if (path == prefix) return true;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path[prefix.size()] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void diff_into(const Json& a, const Json& b, const std::string& path,
+               const std::vector<std::string>& prefixes, std::vector<std::string>& out) {
+  if (ignored(path, prefixes)) return;
+  if (a.is_object() && b.is_object()) {
+    for (const auto& [key, value] : a.as_object()) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      const Json* other = b.find(key);
+      if (!other) {
+        if (!ignored(child, prefixes)) out.push_back(child + ": only in first");
+        continue;
+      }
+      diff_into(value, *other, child, prefixes, out);
+    }
+    for (const auto& [key, value] : b.as_object()) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (!a.find(key) && !ignored(child, prefixes)) out.push_back(child + ": only in second");
+    }
+    return;
+  }
+  if (a.is_array() && b.is_array()) {
+    const std::size_t common = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      diff_into(a.as_array()[i], b.as_array()[i],
+                path.empty() ? std::to_string(i) : path + "." + std::to_string(i), prefixes, out);
+    }
+    if (a.size() != b.size()) {
+      out.push_back(path + ": array length " + std::to_string(a.size()) + " vs " +
+                    std::to_string(b.size()));
+    }
+    return;
+  }
+  if (!(a == b)) out.push_back(path + ": " + a.dump() + " vs " + b.dump());
+}
+
+}  // namespace
+
+std::vector<std::string> json_diff(const Json& a, const Json& b,
+                                   const std::vector<std::string>& ignore_prefixes) {
+  std::vector<std::string> out;
+  diff_into(a, b, "", ignore_prefixes, out);
+  return out;
+}
+
+}  // namespace symbiosis::obs

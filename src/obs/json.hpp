@@ -1,0 +1,115 @@
+// json.hpp — a minimal JSON document model for run reports and JSONL events.
+//
+// Deliberately small: insertion-ordered objects (reports stay readable and
+// diffs stable), exact 64-bit integers (simulated cycle counts round-trip
+// bit-exactly instead of passing through double), and a strict recursive-
+// descent parser for the inspect/diff/validate tooling. Not a general JSON
+// library — no comments, no NaN/Inf, UTF-8 passed through untouched.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace symbiosis::obs {
+
+/// Thrown by Json::parse on malformed input and by as_*() on type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool v) : value_(v) {}
+  Json(std::uint64_t v) : value_(v) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(std::string v) : value_(std::move(v)) {}
+  Json(std::string_view v) : value_(std::string(v)) {}
+  Json(const char* v) : value_(std::string(v)) {}
+
+  [[nodiscard]] static Json object() { return Json(Members{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const noexcept { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const noexcept { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const noexcept {
+    return holds<std::uint64_t>() || holds<std::int64_t>() || holds<double>();
+  }
+  [[nodiscard]] bool is_string() const noexcept { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const noexcept { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const noexcept { return holds<Members>(); }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_u64() const;   ///< must be a non-negative integer
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] double as_double() const;       ///< any number
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Members& as_object() const;
+
+  /// Object: set (or overwrite) @p key. Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Object: member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Object: find() that throws JsonError with @p key in the message.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Array: append.
+  void push_back(Json value);
+
+  /// Array or object element count; 0 otherwise.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Structural equality. Numbers compare by exact stored value after
+  /// integer widening (u64 7 == i64 7), never by double rounding across
+  /// integer/double kinds.
+  [[nodiscard]] bool operator==(const Json& other) const;
+
+  /// Serialize. indent == 0 -> compact single line; otherwise pretty-printed
+  /// with @p indent spaces per level. Doubles use round-trip precision.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (throws JsonError).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Escape @p s as a JSON string literal (with surrounding quotes).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return std::holds_alternative<T>(value_);
+  }
+  explicit Json(Array v) : value_(std::move(v)) {}
+  explicit Json(Members v) : value_(std::move(v)) {}
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::uint64_t, std::int64_t, double, std::string, Array,
+               Members>
+      value_{nullptr};
+};
+
+/// Walk @p root to the dot-separated @p path ("config.machine.cores");
+/// array elements are addressed by numeric segments. nullptr when absent.
+[[nodiscard]] const Json* json_at_path(const Json& root, std::string_view path);
+
+/// Recursively diff @p a vs @p b; returns dot-path descriptions of every
+/// difference ("summary.0.name: \"mcf\" vs \"lbm\""). @p ignore_prefixes
+/// suppresses subtrees (volatile fields such as wall-clock timings).
+[[nodiscard]] std::vector<std::string> json_diff(
+    const Json& a, const Json& b, const std::vector<std::string>& ignore_prefixes = {});
+
+}  // namespace symbiosis::obs

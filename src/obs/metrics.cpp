@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace symbiosis::obs {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (const char ch : name) {
+    if (ch == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(std::string_view name, MetricKind kind) {
+  SYM_CHECK(valid_metric_name(name), "obs.metrics")
+      << "malformed metric name '" << name << "' (want dot-scoped [a-z0-9_] segments)";
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    SYM_CHECK(it->second.kind == kind, "obs.metrics")
+        << "metric '" << name << "' registered as " << to_string(it->second.kind)
+        << " but requested as " << to_string(kind);
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::Counter: entry.counter = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::Histogram: entry.histogram = std::make_unique<Histogram>(); break;
+  }
+  return entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  return *find_or_create(name, MetricKind::Counter).counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  return *find_or_create(name, MetricKind::Gauge).gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  return *find_or_create(name, MetricKind::Histogram).histogram;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter: sample.count = entry.counter->value(); break;
+      case MetricKind::Gauge: sample.value = entry.gauge->value(); break;
+      case MetricKind::Histogram:
+        sample.count = entry.histogram->count();
+        sample.value = entry.histogram->mean();
+        sample.sum = entry.histogram->sum();
+        sample.min = entry.histogram->min();
+        sample.max = entry.histogram->max();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricRegistry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::Counter: entry.counter->reset(); break;
+      case MetricKind::Gauge: entry.gauge->reset(); break;
+      case MetricKind::Histogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace symbiosis::obs

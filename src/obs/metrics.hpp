@@ -1,0 +1,158 @@
+// metrics.hpp — the process-wide metrics registry.
+//
+// Named counters, gauges and log2-bucketed histograms with dot-scoped names
+// mirroring the check.hpp category scheme ("cachesim.l2.miss",
+// "sched.mincut.kl_passes", "sig.rbv.popcount", ...). Updates are relaxed
+// atomics so instrumented code stays wait-free; registration (name lookup)
+// takes a mutex, so hot paths cache the returned reference:
+//
+//   static obs::Counter& misses = obs::counter("cachesim.l2.miss");
+//   misses.add();
+//
+// References returned by the registry stay valid for the process lifetime
+// (metrics are never unregistered; reset_values() zeroes values only).
+//
+// Policy (DESIGN.md §9): per-event updates belong on cold paths (context
+// switches, allocator invocations, solver calls). Per-access hot loops keep
+// their existing local stats blocks (cachesim::CacheStats, TaskCounters)
+// and PUBLISH deltas to the registry at cold boundaries instead — see
+// machine::Machine::publish_metrics().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symbiosis::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution of non-negative integer observations.
+/// Bucket b holds observations v with std::bit_width(v) == b, i.e. bucket 0
+/// is exactly v == 0 and bucket b >= 1 covers [2^(b-1), 2^b).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width(uint64) in [0, 64]
+
+  void observe(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const auto n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const {
+    return buckets_.at(b).load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t count = 0;  ///< counter value, or histogram observation count
+  double value = 0.0;       ///< gauge value, or histogram mean
+  std::uint64_t sum = 0;    ///< histogram only
+  std::uint64_t min = 0;    ///< histogram only
+  std::uint64_t max = 0;    ///< histogram only
+};
+
+/// Names are dot-scoped lowercase: segments of [a-z0-9_]+ joined by '.'.
+[[nodiscard]] bool valid_metric_name(std::string_view name) noexcept;
+
+/// The registry. Thread-safe; one global instance via global().
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& global();
+
+  /// Find-or-create. SYM_CHECKs that @p name is well formed and was not
+  /// previously registered under a different kind. The reference stays
+  /// valid forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zero every metric's value; registrations (and handed-out references)
+  /// survive. Intended for tests and between experiment repetitions.
+  void reset_values();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  /// One registered metric; exactly one pointer is engaged, per kind.
+  struct Entry {
+    MetricKind kind = MetricKind::Counter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// --- convenience accessors on the global registry ---
+inline Counter& counter(std::string_view name) { return MetricRegistry::global().counter(name); }
+inline Gauge& gauge(std::string_view name) { return MetricRegistry::global().gauge(name); }
+inline Histogram& histogram(std::string_view name) {
+  return MetricRegistry::global().histogram(name);
+}
+
+}  // namespace symbiosis::obs

@@ -1,0 +1,127 @@
+#include "obs/recorder.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace symbiosis::obs {
+
+const char* event_type_name(const Event& event) noexcept {
+  struct Visitor {
+    const char* operator()(const ContextSwitchEvent&) const noexcept { return "context_switch"; }
+    const char* operator()(const L2EvictionEvent&) const noexcept { return "l2_eviction"; }
+    const char* operator()(const AllocatorDecisionEvent&) const noexcept {
+      return "allocator_decision";
+    }
+    const char* operator()(const VmExitEvent&) const noexcept { return "vm_exit"; }
+    const char* operator()(const PhaseEvent&) const noexcept { return "phase"; }
+  };
+  return std::visit(Visitor{}, event);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  SYM_CHECK(capacity >= 1, "obs.recorder") << "ring capacity must be >= 1";
+  const std::scoped_lock lock(mutex_);
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+}
+
+void FlightRecorder::record(Event event) {
+  const std::scoped_lock lock(mutex_);
+  RecordedEvent slot{next_seq_++, std::move(event)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(slot));
+  } else {
+    ring_[static_cast<std::size_t>(slot.seq % capacity_)] = std::move(slot);
+  }
+}
+
+std::vector<RecordedEvent> FlightRecorder::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<RecordedEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: already oldest-first
+  } else {
+    const std::size_t head = static_cast<std::size_t>(next_seq_ % capacity_);
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded_total() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t FlightRecorder::dropped_total() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return next_seq_ - ring_.size();
+}
+
+void FlightRecorder::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+namespace {
+
+Json event_to_json(const RecordedEvent& recorded) {
+  Json line = Json::object();
+  line.set("seq", recorded.seq);
+  line.set("type", event_type_name(recorded.event));
+  struct Visitor {
+    Json& line;
+    void operator()(const ContextSwitchEvent& e) const {
+      line.set("time", e.time).set("core", std::uint64_t{e.core}).set("task", e.task).set(
+          "pid", e.pid);
+    }
+    void operator()(const L2EvictionEvent& e) const {
+      line.set("victim_line", e.victim_line)
+          .set("set", std::uint64_t{e.set})
+          .set("way", std::uint64_t{e.way})
+          .set("requestor", std::uint64_t{e.requestor});
+    }
+    void operator()(const AllocatorDecisionEvent& e) const {
+      line.set("time", e.time)
+          .set("allocator", e.allocator)
+          .set("chosen_key", e.chosen_key)
+          .set("tasks", e.tasks)
+          .set("cut_weight", e.cut_weight)
+          .set("intra_weight", e.intra_weight);
+      Json weights = Json::array();
+      for (const double w : e.edge_weights) weights.push_back(w);
+      line.set("edge_weights", std::move(weights));
+    }
+    void operator()(const VmExitEvent& e) const {
+      line.set("time", e.time)
+          .set("domain", e.domain)
+          .set("name", e.name)
+          .set("reason", e.reason)
+          .set("user_cycles", e.user_cycles);
+    }
+    void operator()(const PhaseEvent& e) const { line.set("time", e.time).set("phase", e.phase); }
+  };
+  std::visit(Visitor{line}, recorded.event);
+  return line;
+}
+
+}  // namespace
+
+void FlightRecorder::write_jsonl(std::ostream& os) const {
+  for (const auto& recorded : snapshot()) {
+    os << event_to_json(recorded).dump() << '\n';
+  }
+}
+
+}  // namespace symbiosis::obs

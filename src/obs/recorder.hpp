@@ -1,0 +1,164 @@
+// recorder.hpp — the simulation flight recorder.
+//
+// A bounded ring buffer of typed simulation events: context switches, L2
+// evictions, allocator decisions (with the full interference-graph edge
+// weights), VM exits and phase markers. The recorder answers "WHY did the
+// weighted-graph allocator choose this mapping" — the DESIGN §4 pipelines
+// discard everything but final improvements; the ring keeps the last N
+// decisions inspectable and dumpable as JSONL.
+//
+// Cost model (DESIGN.md §9): instrument sites use the SYM_RECORD macro,
+// which evaluates its event expression ONLY when the recorder is enabled
+// (one relaxed atomic load + branch otherwise), and compiles to nothing at
+// all when the build sets SYMBIOSIS_RECORDER_COMPILED=0 (cmake
+// -DSYMBIOSIS_RECORDER=OFF). The recorder is DISABLED at runtime by
+// default; tests and trace tooling flip it on via ScopedRecorder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace symbiosis::obs {
+
+/// A task was switched in on a core (in VM mode this is a world switch).
+struct ContextSwitchEvent {
+  std::uint64_t time = 0;  ///< simulated cycle of the switch
+  std::uint32_t core = 0;
+  std::uint64_t task = 0;
+  std::uint64_t pid = 0;
+};
+
+/// A valid line was displaced from the (shared) L2. The hierarchy has no
+/// clock, so eviction events carry no simulated time; the recorder's
+/// sequence number orders them against neighbouring events.
+struct L2EvictionEvent {
+  std::uint64_t victim_line = 0;
+  std::uint32_t set = 0;
+  std::uint32_t way = 0;
+  std::uint32_t requestor = 0;  ///< core whose fill displaced the victim
+};
+
+/// One allocator invocation: the graph it saw and the mapping it produced.
+struct AllocatorDecisionEvent {
+  std::uint64_t time = 0;  ///< simulated cycle of the allocator hook
+  std::string allocator;
+  std::string chosen_key;   ///< canonical Allocation::key()
+  std::uint64_t tasks = 0;
+  double cut_weight = 0.0;    ///< inter-group weight of the chosen mapping
+  double intra_weight = 0.0;  ///< weight kept inside groups
+  /// Upper triangle of the interference graph, row-major: (0,1), (0,2), ...,
+  /// (1,2), ... — empty for policies that build no graph.
+  std::vector<double> edge_weights;
+};
+
+/// A guest domain's benchmark reached completion (the §4.2 measured event).
+struct VmExitEvent {
+  std::uint64_t time = 0;
+  std::uint64_t domain = 0;
+  std::string name;
+  std::string reason;  ///< "completed" | "cycle-cap"
+  std::uint64_t user_cycles = 0;
+};
+
+/// Experiment-level marker (phase boundaries of the two-phase pipeline).
+struct PhaseEvent {
+  std::uint64_t time = 0;
+  std::string phase;
+};
+
+using Event =
+    std::variant<ContextSwitchEvent, L2EvictionEvent, AllocatorDecisionEvent, VmExitEvent,
+                 PhaseEvent>;
+
+/// Stable lowercase type tag ("context_switch", "l2_eviction", ...).
+[[nodiscard]] const char* event_type_name(const Event& event) noexcept;
+
+/// A ring slot: the event plus its global sequence number (total order of
+/// record() calls, monotone even across ring wrap-around).
+struct RecordedEvent {
+  std::uint64_t seq = 0;
+  Event event;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static FlightRecorder& global();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Resize the ring (drops currently buffered events). Capacity >= 1.
+  void set_capacity(std::size_t capacity);
+
+  /// Append an event (oldest is overwritten when full). Callers normally go
+  /// through SYM_RECORD, which skips the call when disabled.
+  void record(Event event);
+
+  /// Buffered events, oldest first (ascending seq).
+  [[nodiscard]] std::vector<RecordedEvent> snapshot() const;
+
+  [[nodiscard]] std::uint64_t recorded_total() const noexcept;  ///< ever record()ed
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept;   ///< overwritten
+
+  /// Drop buffered events and zero the counters (enabled flag unchanged).
+  void clear();
+
+  /// One compact JSON object per buffered event, oldest first.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<RecordedEvent> ring_;  // capacity-bounded, ring_[seq % capacity]
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// RAII enable/disable of the global recorder (tests and trace tooling).
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(bool on = true) : previous_(FlightRecorder::global().enabled()) {
+    FlightRecorder::global().set_enabled(on);
+  }
+  ~ScopedRecorder() { FlightRecorder::global().set_enabled(previous_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace symbiosis::obs
+
+// Compile-time gate: cmake -DSYMBIOSIS_RECORDER=OFF defines
+// SYMBIOSIS_RECORDER_COMPILED=0 and every SYM_RECORD site vanishes,
+// arguments unevaluated.
+#ifndef SYMBIOSIS_RECORDER_COMPILED
+#define SYMBIOSIS_RECORDER_COMPILED 1
+#endif
+
+#if SYMBIOSIS_RECORDER_COMPILED
+#define SYM_RECORD(event_expr)                                      \
+  do {                                                              \
+    if (::symbiosis::obs::FlightRecorder::global().enabled()) {     \
+      ::symbiosis::obs::FlightRecorder::global().record(event_expr); \
+    }                                                               \
+  } while (0)
+#else
+#define SYM_RECORD(event_expr) \
+  do {                         \
+  } while (0)
+#endif

@@ -1,0 +1,60 @@
+// stopwatch.hpp — wall-clock phase timing for run reports.
+//
+// PhaseTimings collects named wall-clock durations ("sample_mixes",
+// "measure_mappings", "summarize") that the run-report exporter emits under
+// the report's "timings" section. Timings are VOLATILE by policy: they are
+// excluded from golden-report comparison and from trace_tools diff by
+// default (they depend on the host, not the simulation).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace symbiosis::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed_ms() const {
+    const auto delta = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(delta).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Ordered (phase name, wall milliseconds) pairs.
+class PhaseTimings {
+ public:
+  void add(std::string phase, double ms) { phases_.emplace_back(std::move(phase), ms); }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& items() const noexcept {
+    return phases_;
+  }
+
+  /// RAII phase: records elapsed time into the parent on destruction.
+  class Scoped {
+   public:
+    Scoped(PhaseTimings& parent, std::string phase)
+        : parent_(parent), phase_(std::move(phase)) {}
+    ~Scoped() { parent_.add(std::move(phase_), watch_.elapsed_ms()); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+   private:
+    PhaseTimings& parent_;
+    std::string phase_;
+    Stopwatch watch_;
+  };
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace symbiosis::obs

@@ -2,7 +2,32 @@
 
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+
 namespace symbiosis::sched {
+
+namespace {
+
+/// Flight-recorder payload for one graph-based allocator decision: the
+/// upper triangle of @p w plus the cut/intra split of the chosen mapping.
+/// Only built when the recorder is enabled (SYM_RECORD skips the call).
+[[maybe_unused]] obs::AllocatorDecisionEvent decision_event(const std::string& allocator,
+                                                            const SymMatrix& w,
+                                                            const Allocation& alloc) {
+  obs::AllocatorDecisionEvent ev;
+  ev.allocator = allocator;
+  ev.chosen_key = alloc.key();
+  ev.tasks = w.size();
+  ev.cut_weight = cut_weight(w, alloc);
+  ev.intra_weight = intra_weight(w, alloc);
+  ev.edge_weights.reserve(w.size() * (w.size() - 1) / 2);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    for (std::size_t j = i + 1; j < w.size(); ++j) ev.edge_weights.push_back(w.at(i, j));
+  }
+  return ev;
+}
+
+}  // namespace
 
 SymMatrix build_interference_graph(const std::vector<TaskProfile>& profiles, bool weighted) {
   const std::size_t n = profiles.size();
@@ -25,7 +50,9 @@ Allocation InterferenceGraphAllocator::allocate(const std::vector<TaskProfile>& 
     throw std::invalid_argument("InterferenceGraphAllocator: fewer tasks than groups");
   }
   const SymMatrix w = build_interference_graph(profiles, /*weighted=*/false);
-  return balanced_min_cut(w, groups, method_, seed_);
+  Allocation alloc = balanced_min_cut(w, groups, method_, seed_);
+  SYM_RECORD(decision_event(name(), w, alloc));
+  return alloc;
 }
 
 Allocation WeightedGraphAllocator::allocate(const std::vector<TaskProfile>& profiles,
@@ -34,7 +61,9 @@ Allocation WeightedGraphAllocator::allocate(const std::vector<TaskProfile>& prof
     throw std::invalid_argument("WeightedGraphAllocator: fewer tasks than groups");
   }
   const SymMatrix w = build_interference_graph(profiles, /*weighted=*/true);
-  return balanced_min_cut(w, groups, method_, seed_);
+  Allocation alloc = balanced_min_cut(w, groups, method_, seed_);
+  SYM_RECORD(decision_event(name(), w, alloc));
+  return alloc;
 }
 
 }  // namespace symbiosis::sched

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::sched {
@@ -172,6 +173,8 @@ void kl_refine(const SymMatrix& w, Allocation& alloc) {
     }
     if (improved) std::swap(alloc.group_of[best_i], alloc.group_of[best_j]);
   }
+  static obs::Counter& kl_passes = obs::counter("sched.mincut.kl_passes");
+  kl_passes.add(rounds);
 }
 
 /// Fiedler-style spectral bisection: power-iterate M = (c·I − L) with the
@@ -334,6 +337,8 @@ Allocation balanced_min_cut(const SymMatrix& w, std::size_t groups, MinCutMethod
                             std::uint64_t seed) {
   if (groups == 0) throw std::invalid_argument("balanced_min_cut: groups must be > 0");
   if (w.size() < groups) throw std::invalid_argument("balanced_min_cut: fewer nodes than groups");
+  static obs::Counter& solves = obs::counter("sched.mincut.solves");
+  solves.add(1);
 
   Allocation out;
   out.groups = groups;

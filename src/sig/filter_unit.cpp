@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 #include "util/bitops.hpp"
@@ -92,6 +93,8 @@ void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexc
 void FilterUnit::snapshot(std::size_t core) noexcept {
   SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
   lf_[core].assign(cf_[core]);
+  static obs::Counter& snapshots = obs::counter("sig.filter.snapshots");
+  snapshots.add(1);
 }
 
 BitVector FilterUnit::compute_rbv(std::size_t core) const {

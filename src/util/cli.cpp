@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/log.hpp"
+
 namespace symbiosis::util {
 
 ArgParser::ArgParser(std::string program, std::string description)
@@ -105,6 +107,8 @@ bool ArgParser::assign(Option& opt, const std::string& value) {
 }
 
 bool ArgParser::parse(int argc, const char* const* argv) {
+  // Every CLI honours SYMBIOSIS_LOG=trace|debug|info|warn|error|off.
+  init_log_from_env();
   for (int idx = 1; idx < argc; ++idx) {
     std::string arg = argv[idx];
     if (arg == "--help" || arg == "-h") {

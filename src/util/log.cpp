@@ -1,12 +1,15 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
+#include <cstdlib>
 
 namespace symbiosis::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<std::FILE*> g_stream{nullptr};  // nullptr = stderr
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -26,23 +29,35 @@ void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(lev
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
 LogLevel parse_log_level(const std::string& name) noexcept {
-  if (name == "trace") return LogLevel::Trace;
-  if (name == "debug") return LogLevel::Debug;
-  if (name == "info") return LogLevel::Info;
-  if (name == "warn") return LogLevel::Warn;
-  if (name == "error") return LogLevel::Error;
-  if (name == "off") return LogLevel::Off;
+  std::string lower = name;
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off") return LogLevel::Off;
   return LogLevel::Info;
 }
 
+LogLevel init_log_from_env() noexcept {
+  const char* value = std::getenv("SYMBIOSIS_LOG");
+  if (value && *value) set_log_level(parse_log_level(value));
+  return log_level();
+}
+
+void set_log_stream(std::FILE* stream) noexcept { g_stream.store(stream); }
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::FILE* out = g_stream.load(std::memory_order_relaxed);
+  if (!out) out = stderr;
+  std::fprintf(out, "[%s] ", level_name(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vfprintf(out, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::fputc('\n', out);
 }
 
 }  // namespace symbiosis::util

@@ -15,11 +15,23 @@ enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4,
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> Info.
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// unknown -> Info.
 [[nodiscard]] LogLevel parse_log_level(const std::string& name) noexcept;
+
+/// Apply the SYMBIOSIS_LOG environment variable (e.g. SYMBIOSIS_LOG=debug)
+/// to the global level. Unset/empty leaves the level untouched; unknown
+/// values fall back to Info (parse_log_level's documented behaviour).
+/// Returns the level in effect afterwards. Called by ArgParser::parse and
+/// the bench/example mains, so any tool honours the variable.
+LogLevel init_log_from_env() noexcept;
 
 /// printf-style logging; appends a newline.
 void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+/// Redirect log output to @p stream (nullptr restores stderr). For tests
+/// that assert on level filtering; not thread-safe vs concurrent logging.
+void set_log_stream(std::FILE* stream) noexcept;
 
 #define SYMBIOSIS_LOG_TRACE(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Trace, __VA_ARGS__)
 #define SYMBIOSIS_LOG_DEBUG(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Debug, __VA_ARGS__)

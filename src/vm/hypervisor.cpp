@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
 namespace symbiosis::vm {
 
 namespace {
@@ -64,6 +67,7 @@ DomainId Hypervisor::create_domain(std::vector<std::unique_ptr<workload::TaskStr
     dom.vcpus.push_back(machine_->add_thread(std::move(stream), pid, affinity));
   }
   domains_.push_back(std::move(dom));
+  obs::counter("vm.domains_created").add(1);
   return domains_.size() - 1;
 }
 
@@ -72,7 +76,19 @@ void Hypervisor::set_domain_affinity(DomainId dom, std::size_t core) {
 }
 
 bool Hypervisor::run_to_all_complete(std::uint64_t max_cycles) {
-  return machine_->run_to_all_complete(max_cycles);
+  const bool completed = machine_->run_to_all_complete(max_cycles);
+  // One VM-exit marker per measured domain (Dom0 is background and never
+  // "exits"): the §4.2 event the virtualized pipeline measures.
+  for (DomainId d = 0; d < domains_.size(); ++d) {
+    if (domains_[d].vcpus.size() == 1 &&
+        machine_->task(domains_[d].vcpus.front()).background) {
+      continue;
+    }
+    SYM_RECORD((obs::VmExitEvent{machine_->now(), static_cast<std::uint64_t>(d),
+                                 domains_[d].name, completed ? "completed" : "cycle-cap",
+                                 domain_user_cycles(d)}));
+  }
+  return completed;
 }
 
 std::uint64_t Hypervisor::domain_user_cycles(DomainId dom) const {

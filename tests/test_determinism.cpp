@@ -1,0 +1,178 @@
+// Determinism regression suite (DESIGN.md §9): the same seed must produce
+// bit-identical sweep results whether the mixes run serially or on a
+// ThreadPool with any worker count. Each experiment builds its own Machine
+// and writes only its own outcome slot, so worker interleaving must be
+// invisible in the result — this suite is what keeps that true.
+//
+// Also the property tests for summarize_improvements: the production fold
+// is checked against an independently written brute-force reference over
+// randomly generated outcomes, including the benchmark-absent-from-all-
+// mixes edge case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace symbiosis::core {
+namespace {
+
+/// Tiny machine + very short benchmarks: a full 2-mix sweep in well under a
+/// second, so running it four times (serial + three pools) stays cheap.
+PipelineConfig tiny_pipeline() {
+  PipelineConfig c;
+  c.machine.hierarchy.num_cores = 2;
+  c.machine.hierarchy.l1 = {1024, 2, 64};
+  c.machine.hierarchy.l2 = {32 * 1024, 4, 64};
+  c.machine.quantum_cycles = 100'000;
+  c.sync_scale();
+  c.scale.length_scale = 0.05;
+  c.allocator_period_cycles = 500'000;
+  c.emulation_cycles = 4'000'000;
+  c.measure_max_cycles = 400'000'000;
+  return c;
+}
+
+const std::vector<std::string> kTinyPool = {"mcf", "libquantum", "povray", "gobmk"};
+
+TEST(Determinism, SweepIsIdenticalForAnyWorkerCount) {
+  const PipelineConfig config = tiny_pipeline();
+  const SweepResult serial = run_sweep(config, kTinyPool, 2, 1);
+  ASSERT_FALSE(serial.outcomes.empty());
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool(workers);
+    const SweepResult threaded = run_sweep(config, kTinyPool, 2, 1, false, &pool);
+    ASSERT_EQ(threaded.mixes, serial.mixes) << workers << " workers";
+    // Bit-identical MixOutcomes: every mapping's user/wall cycles, the
+    // phase-1 vote table, and the chosen index — not just the summary.
+    EXPECT_EQ(threaded.outcomes, serial.outcomes) << workers << " workers";
+    EXPECT_EQ(threaded.summary, serial.summary) << workers << " workers";
+  }
+}
+
+TEST(Determinism, RepeatedSerialRunsAreIdentical) {
+  const PipelineConfig config = tiny_pipeline();
+  const SweepResult a = run_sweep(config, kTinyPool, 2, 1);
+  const SweepResult b = run_sweep(config, kTinyPool, 2, 1);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.summary, b.summary);
+}
+
+TEST(Determinism, SeedSelectsTheMixSample) {
+  PipelineConfig config = tiny_pipeline();
+  const SweepResult a = run_sweep(config, kTinyPool, 2, 1);
+  config.seed += 1;
+  const SweepResult b = run_sweep(config, kTinyPool, 2, 1);
+  // Different seed, same pool: the sample may legitimately coincide for a
+  // pool this small, but outcomes must still be self-consistent.
+  ASSERT_EQ(a.mixes.size(), b.mixes.size());
+  for (const auto& outcome : b.outcomes) {
+    EXPECT_EQ(outcome.mix.size(), 2u);
+    EXPECT_FALSE(outcome.mappings.empty());
+    EXPECT_LT(outcome.chosen, outcome.mappings.size());
+  }
+}
+
+// --- summarize_improvements property tests --------------------------------
+
+/// Independent reference implementation: for one benchmark, walk every
+/// (outcome, slot) pair the straightforward way and aggregate.
+BenchmarkImprovement reference_summary(const std::string& name,
+                                       const std::vector<MixOutcome>& outcomes) {
+  BenchmarkImprovement agg;
+  agg.name = name;
+  for (const auto& outcome : outcomes) {
+    for (std::size_t i = 0; i < outcome.mix.size(); ++i) {
+      if (outcome.mix[i] != name) continue;
+      const double improvement = outcome.improvement_vs_worst(i);
+      const double oracle = outcome.oracle_improvement(i);
+      agg.max_improvement = std::max(agg.max_improvement, improvement);
+      agg.sum_improvement += improvement;
+      agg.max_oracle = std::max(agg.max_oracle, oracle);
+      agg.sum_oracle += oracle;
+      ++agg.mixes;
+    }
+  }
+  return agg;
+}
+
+/// Random outcome over @p pool: mix of @p mix_size drawn without
+/// replacement, 2-4 mappings with arbitrary user cycles (zeros included to
+/// exercise the worst==0 guard).
+MixOutcome random_outcome(util::Rng& rng, const std::vector<std::string>& pool,
+                          std::size_t mix_size) {
+  MixOutcome outcome;
+  std::vector<std::string> names = pool;
+  for (std::size_t i = 0; i < mix_size; ++i) {
+    const std::size_t pick = i + static_cast<std::size_t>(rng.next_below(names.size() - i));
+    std::swap(names[i], names[pick]);
+    outcome.mix.push_back(names[i]);
+  }
+  const std::size_t mappings = 2 + static_cast<std::size_t>(rng.next_below(3));
+  for (std::size_t m = 0; m < mappings; ++m) {
+    MappingRun run;
+    run.names = outcome.mix;
+    for (std::size_t i = 0; i < mix_size; ++i) {
+      // ~10% zeros: a benchmark whose worst time is 0 must contribute 0.
+      const bool zero = rng.next_below(10) == 0;
+      run.user_cycles.push_back(zero ? 0 : 1 + rng.next_below(1'000'000));
+    }
+    run.completed = true;
+    outcome.mappings.push_back(std::move(run));
+  }
+  outcome.chosen = static_cast<std::size_t>(rng.next_below(outcome.mappings.size()));
+  return outcome;
+}
+
+TEST(SummarizeImprovements, MatchesBruteForceReference) {
+  const std::vector<std::string> pool = {"a", "b", "c", "d", "e", "f"};
+  util::Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<MixOutcome> outcomes;
+    const std::size_t count = 1 + static_cast<std::size_t>(rng.next_below(6));
+    for (std::size_t i = 0; i < count; ++i) outcomes.push_back(random_outcome(rng, pool, 3));
+
+    const auto summary = summarize_improvements(pool, outcomes);
+    ASSERT_EQ(summary.size(), pool.size()) << "one entry per pool benchmark, in pool order";
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      EXPECT_EQ(summary[i].name, pool[i]);
+      // The reference walks (outcome, slot) pairs in the same order, so the
+      // floating-point sums must be EXACTLY equal, not just close.
+      EXPECT_EQ(summary[i], reference_summary(pool[i], outcomes)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SummarizeImprovements, BenchmarkAbsentFromAllMixesIsZeroed) {
+  const std::vector<std::string> pool = {"present", "absent"};
+  util::Rng rng(7);
+  std::vector<MixOutcome> outcomes;
+  for (int i = 0; i < 4; ++i) outcomes.push_back(random_outcome(rng, {"present"}, 1));
+
+  const auto summary = summarize_improvements(pool, outcomes);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[1].name, "absent");
+  EXPECT_EQ(summary[1].mixes, 0);
+  EXPECT_EQ(summary[1].max_improvement, 0.0);
+  EXPECT_EQ(summary[1].sum_improvement, 0.0);
+  EXPECT_EQ(summary[1].avg_improvement(), 0.0) << "no division by zero mixes";
+  EXPECT_EQ(summary[1].avg_oracle(), 0.0);
+}
+
+TEST(SummarizeImprovements, EmptyOutcomesYieldPoolOfZeroEntries) {
+  const std::vector<std::string> pool = {"x", "y"};
+  const auto summary = summarize_improvements(pool, {});
+  ASSERT_EQ(summary.size(), 2u);
+  for (const auto& entry : summary) {
+    EXPECT_EQ(entry.mixes, 0);
+    EXPECT_EQ(entry.max_improvement, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace symbiosis::core

@@ -1,0 +1,167 @@
+// Json document-model tests: dump/parse round-trips (exact 64-bit integers,
+// round-trip doubles, escapes), equality semantics, strict-parser errors,
+// and the json_at_path / json_diff helpers behind trace_tools.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace symbiosis::obs {
+namespace {
+
+Json sample_report() {
+  Json mappings = Json::array();
+  mappings.push_back(Json("0,1|2,3"));
+  mappings.push_back(Json("0,2|1,3"));
+  Json config = Json::object();
+  config.set("seed", std::uint64_t{42}).set("allocator", "weighted-graph");
+  Json root = Json::object();
+  root.set("schema", "symbiosis.run_report")
+      .set("config", std::move(config))
+      .set("mappings", std::move(mappings))
+      .set("improvement", 0.22);
+  return root;
+}
+
+TEST(Json, U64RoundTripsExactly) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  const Json j(big);
+  EXPECT_EQ(j.dump(), "18446744073709551615");
+  EXPECT_EQ(Json::parse(j.dump()).as_u64(), big);
+}
+
+TEST(Json, I64RoundTripsExactly) {
+  const std::int64_t low = std::numeric_limits<std::int64_t>::min();
+  const Json j(low);
+  EXPECT_EQ(j.dump(), "-9223372036854775808");
+  EXPECT_EQ(Json::parse(j.dump()).as_i64(), low);
+}
+
+TEST(Json, DoubleRoundTripsAtFullPrecision) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e300, -2.5e-10, 1234.5678}) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_DOUBLE_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(Json, StringEscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const Json parsed = Json::parse(Json(nasty).dump());
+  EXPECT_EQ(parsed.as_string(), nasty);
+}
+
+TEST(Json, NestedDocumentRoundTripPreservesOrderAndValues) {
+  const Json root = sample_report();
+  const Json compact = Json::parse(root.dump());
+  const Json pretty = Json::parse(root.dump(2));
+  EXPECT_EQ(root, compact);
+  EXPECT_EQ(root, pretty);
+  // Insertion order survives the round trip (diff stability depends on it).
+  const auto& members = compact.as_object();
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0].first, "schema");
+  EXPECT_EQ(members[3].first, "improvement");
+}
+
+TEST(Json, EqualityWidensIntegersButNotDoubles) {
+  EXPECT_EQ(Json(std::uint64_t{7}), Json(std::int64_t{7}));
+  EXPECT_EQ(Json(std::int64_t{-1}), Json(std::int64_t{-1}));
+  EXPECT_NE(Json(std::uint64_t{7}), Json(7.0)) << "integer never equals double kind";
+  EXPECT_NE(Json(std::int64_t{-1}),
+            Json(std::uint64_t{std::numeric_limits<std::uint64_t>::max()}))
+      << "no modular wrap-around across signedness";
+  EXPECT_NE(Json(true), Json(std::int64_t{1}));
+  EXPECT_NE(Json(nullptr), Json(std::int64_t{0}));
+}
+
+TEST(Json, AsU64RejectsNegativesAndNonNumbers) {
+  EXPECT_THROW((void)Json(std::int64_t{-1}).as_u64(), JsonError);
+  EXPECT_THROW((void)Json("7").as_u64(), JsonError);
+  EXPECT_EQ(Json(std::int64_t{7}).as_u64(), 7u);
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1} trailing"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1, \"a\": 2}"), JsonError) << "duplicate keys";
+  EXPECT_THROW((void)Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("nan"), JsonError);
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_THROW((void)Json::parse(deep), JsonError) << "nesting depth limit";
+}
+
+TEST(Json, AtThrowsWithKeyInMessage) {
+  const Json root = sample_report();
+  EXPECT_NO_THROW((void)root.at("schema"));
+  try {
+    (void)root.at("missing_key");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing_key"), std::string::npos);
+  }
+}
+
+TEST(JsonPath, WalksObjectsAndArrays) {
+  const Json root = sample_report();
+  const Json* seed = json_at_path(root, "config.seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->as_u64(), 42u);
+  const Json* second = json_at_path(root, "mappings.1");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->as_string(), "0,2|1,3");
+  EXPECT_EQ(json_at_path(root, "config.nope"), nullptr);
+  EXPECT_EQ(json_at_path(root, "mappings.7"), nullptr);
+  EXPECT_EQ(json_at_path(root, "schema.deeper"), nullptr);
+}
+
+TEST(JsonDiff, ReportsEveryDifferenceByPath) {
+  const Json a = sample_report();
+  Json b = sample_report();
+  b.set("improvement", 0.54);
+  Json config = Json::object();
+  config.set("seed", std::uint64_t{43}).set("allocator", "weighted-graph");
+  b.set("config", std::move(config));
+
+  const auto diffs = json_diff(a, b);
+  ASSERT_EQ(diffs.size(), 2u);
+  // Each entry names the differing path.
+  EXPECT_NE(diffs[0].find("config.seed"), std::string::npos);
+  EXPECT_NE(diffs[1].find("improvement"), std::string::npos);
+
+  EXPECT_TRUE(json_diff(a, sample_report()).empty());
+}
+
+TEST(JsonDiff, IgnorePrefixesSuppressSubtrees) {
+  const Json a = sample_report();
+  Json b = sample_report();
+  Json config = Json::object();
+  config.set("seed", std::uint64_t{999}).set("allocator", "naive");
+  b.set("config", std::move(config));
+
+  EXPECT_EQ(json_diff(a, b).size(), 2u);
+  EXPECT_TRUE(json_diff(a, b, {"config"}).empty());
+  EXPECT_EQ(json_diff(a, b, {"config.seed"}).size(), 1u);
+}
+
+TEST(JsonDiff, StructuralMismatchesAreOneEntry) {
+  Json a = Json::object();
+  a.set("x", Json::array());
+  Json b = Json::object();
+  b.set("x", std::int64_t{1});
+  EXPECT_EQ(json_diff(a, b).size(), 1u);
+
+  Json c = Json::object();
+  c.set("x", Json::array());
+  c.set("extra", true);
+  const auto diffs = json_diff(a, c);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace symbiosis::obs

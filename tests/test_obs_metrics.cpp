@@ -1,0 +1,177 @@
+// Unit + concurrency tests for the obs metrics registry. The concurrency
+// cases are the TSan targets: relaxed-atomic updates and mutex-guarded
+// registration racing from many threads must stay data-race-free.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace symbiosis::obs {
+namespace {
+
+TEST(MetricName, Validation) {
+  EXPECT_TRUE(valid_metric_name("cachesim.l2.miss"));
+  EXPECT_TRUE(valid_metric_name("a"));
+  EXPECT_TRUE(valid_metric_name("a_b.c_0"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("."));
+  EXPECT_FALSE(valid_metric_name("a."));
+  EXPECT_FALSE(valid_metric_name(".a"));
+  EXPECT_FALSE(valid_metric_name("a..b"));
+  EXPECT_FALSE(valid_metric_name("A.b"));
+  EXPECT_FALSE(valid_metric_name("a-b"));
+  EXPECT_FALSE(valid_metric_name("a b"));
+}
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetValueReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty -> 0 by contract
+  h.observe(0);            // bucket 0: exactly zero
+  h.observe(1);            // bucket 1: [1, 2)
+  h.observe(2);            // bucket 2: [2, 4)
+  h.observe(3);            // bucket 2
+  h.observe(1024);         // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1024);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1030.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Registry, FindOrCreateReturnsStableReference) {
+  Counter& a = counter("test.registry.stable");
+  a.add(7);
+  Counter& b = counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Registry, KindCollisionIsAnInvariantViolation) {
+  util::ScopedCheckMode mode(util::CheckMode::Throw);
+  (void)counter("test.registry.collision");
+  EXPECT_THROW((void)gauge("test.registry.collision"), util::CheckError);
+  EXPECT_THROW((void)histogram("test.registry.collision"), util::CheckError);
+}
+
+TEST(Registry, MalformedNameIsAnInvariantViolation) {
+  util::ScopedCheckMode mode(util::CheckMode::Throw);
+  EXPECT_THROW((void)counter("Bad.Name"), util::CheckError);
+  EXPECT_THROW((void)counter(""), util::CheckError);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndTyped) {
+  counter("test.snapshot.zz").add(3);
+  gauge("test.snapshot.aa").set(1.5);
+  histogram("test.snapshot.mm").observe(9);
+
+  const auto samples = MetricRegistry::global().snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name) << "snapshot not sorted";
+  }
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& s : samples) {
+    if (s.name == "test.snapshot.zz") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricKind::Counter);
+      EXPECT_EQ(s.count, 3u);
+    } else if (s.name == "test.snapshot.aa") {
+      saw_gauge = true;
+      EXPECT_EQ(s.kind, MetricKind::Gauge);
+      EXPECT_DOUBLE_EQ(s.value, 1.5);
+    } else if (s.name == "test.snapshot.mm") {
+      saw_hist = true;
+      EXPECT_EQ(s.kind, MetricKind::Histogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_EQ(s.sum, 9u);
+      EXPECT_EQ(s.min, 9u);
+      EXPECT_EQ(s.max, 9u);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  Counter& c = counter("test.reset.counter");
+  c.add(5);
+  const std::size_t before = MetricRegistry::global().size();
+  MetricRegistry::global().reset_values();
+  EXPECT_EQ(MetricRegistry::global().size(), before);
+  EXPECT_EQ(c.value(), 0u);  // handed-out reference survives and is zeroed
+}
+
+// --- TSan targets ---------------------------------------------------------
+
+TEST(RegistryConcurrency, ParallelAddsSumExactly) {
+  Counter& c = counter("test.concurrency.adds");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(RegistryConcurrency, ParallelRegistrationAndSnapshot) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        // Same names from every thread: the registry must serialize
+        // find-or-create and hand out one object per name.
+        counter("test.concurrency.shared_" + std::to_string(i)).add(1);
+        histogram("test.concurrency.hist").observe(static_cast<std::uint64_t>(t * 50 + i));
+        if (i % 10 == 0) (void)MetricRegistry::global().snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(counter("test.concurrency.shared_" + std::to_string(i)).value(),
+              static_cast<std::uint64_t>(kThreads));
+  }
+  EXPECT_EQ(histogram("test.concurrency.hist").count(),
+            static_cast<std::uint64_t>(kThreads * 50));
+}
+
+}  // namespace
+}  // namespace symbiosis::obs

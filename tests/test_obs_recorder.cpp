@@ -1,0 +1,151 @@
+// Flight-recorder tests: event ordering across ring wrap-around, the
+// SYM_RECORD lazy-evaluation contract, and the JSONL dump format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+
+namespace symbiosis::obs {
+namespace {
+
+// The recorder under test is a process-wide singleton; every test starts
+// from a clean, disabled ring and restores the default capacity on exit.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().set_enabled(false);
+    FlightRecorder::global().set_capacity(FlightRecorder::kDefaultCapacity);
+    FlightRecorder::global().clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(RecorderTest, EventTypeNames) {
+  EXPECT_STREQ(event_type_name(ContextSwitchEvent{}), "context_switch");
+  EXPECT_STREQ(event_type_name(L2EvictionEvent{}), "l2_eviction");
+  EXPECT_STREQ(event_type_name(AllocatorDecisionEvent{}), "allocator_decision");
+  EXPECT_STREQ(event_type_name(VmExitEvent{}), "vm_exit");
+  EXPECT_STREQ(event_type_name(PhaseEvent{}), "phase");
+}
+
+TEST_F(RecorderTest, SnapshotIsOldestFirstBeforeWrap) {
+  auto& rec = FlightRecorder::global();
+  for (std::uint64_t t = 0; t < 5; ++t) rec.record(PhaseEvent{t, "p" + std::to_string(t)});
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(std::get<PhaseEvent>(events[i].event).time, i);
+  }
+  EXPECT_EQ(rec.recorded_total(), 5u);
+  EXPECT_EQ(rec.dropped_total(), 0u);
+}
+
+TEST_F(RecorderTest, RingWrapKeepsNewestAndCountsDrops) {
+  auto& rec = FlightRecorder::global();
+  rec.set_capacity(4);
+  for (std::uint64_t t = 0; t < 10; ++t) rec.record(PhaseEvent{t, "p"});
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Only the last 4 survive, still oldest-first with monotone seq.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(std::get<PhaseEvent>(events[i].event).time, 6 + i);
+  }
+  EXPECT_EQ(rec.recorded_total(), 10u);
+  EXPECT_EQ(rec.dropped_total(), 6u);
+}
+
+TEST_F(RecorderTest, ClearDropsEventsButKeepsEnabledFlag) {
+  auto& rec = FlightRecorder::global();
+  rec.set_enabled(true);
+  rec.record(PhaseEvent{1, "p"});
+  rec.clear();
+  EXPECT_TRUE(rec.enabled());
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.recorded_total(), 0u);
+  EXPECT_EQ(rec.dropped_total(), 0u);
+}
+
+TEST_F(RecorderTest, SymRecordSkipsArgumentEvaluationWhenDisabled) {
+  int evaluations = 0;
+  [[maybe_unused]] auto make_event = [&evaluations] {
+    ++evaluations;
+    return PhaseEvent{0, "expensive"};
+  };
+  SYM_RECORD(make_event());
+  EXPECT_EQ(evaluations, 0) << "disabled recorder must not evaluate the event expression";
+  EXPECT_EQ(FlightRecorder::global().recorded_total(), 0u);
+
+  ScopedRecorder on;
+  SYM_RECORD(make_event());
+#if SYMBIOSIS_RECORDER_COMPILED
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(FlightRecorder::global().recorded_total(), 1u);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST_F(RecorderTest, ScopedRecorderRestoresPreviousState) {
+  auto& rec = FlightRecorder::global();
+  EXPECT_FALSE(rec.enabled());
+  {
+    ScopedRecorder on;
+    EXPECT_TRUE(rec.enabled());
+    {
+      ScopedRecorder off(false);
+      EXPECT_FALSE(rec.enabled());
+    }
+    EXPECT_TRUE(rec.enabled());
+  }
+  EXPECT_FALSE(rec.enabled());
+}
+
+TEST_F(RecorderTest, WriteJsonlEmitsOneParsableObjectPerEvent) {
+  auto& rec = FlightRecorder::global();
+  rec.record(ContextSwitchEvent{100, 1, 3, 42});
+  rec.record(L2EvictionEvent{0xdeadbeef, 7, 2, 1});
+  rec.record(AllocatorDecisionEvent{200, "weighted-graph", "0,1|2,3", 4, 1.5, 2.5,
+                                    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}});
+  rec.record(VmExitEvent{300, 2, "mcf", "completed", 12345});
+  rec.record(PhaseEvent{400, "phase1.vote"});
+
+  std::ostringstream os;
+  rec.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<Json> parsed;
+  while (std::getline(lines, line)) parsed.push_back(Json::parse(line));
+  ASSERT_EQ(parsed.size(), 5u);
+
+  EXPECT_EQ(parsed[0].at("type").as_string(), "context_switch");
+  EXPECT_EQ(parsed[0].at("seq").as_u64(), 0u);
+  EXPECT_EQ(parsed[0].at("time").as_u64(), 100u);
+  EXPECT_EQ(parsed[0].at("pid").as_u64(), 42u);
+
+  EXPECT_EQ(parsed[1].at("type").as_string(), "l2_eviction");
+  EXPECT_EQ(parsed[1].at("victim_line").as_u64(), 0xdeadbeefu);
+  EXPECT_EQ(parsed[1].at("set").as_u64(), 7u);
+  EXPECT_EQ(parsed[1].at("requestor").as_u64(), 1u);
+
+  EXPECT_EQ(parsed[2].at("type").as_string(), "allocator_decision");
+  EXPECT_EQ(parsed[2].at("allocator").as_string(), "weighted-graph");
+  EXPECT_EQ(parsed[2].at("chosen_key").as_string(), "0,1|2,3");
+  EXPECT_EQ(parsed[2].at("edge_weights").size(), 6u);
+  EXPECT_DOUBLE_EQ(parsed[2].at("edge_weights").as_array()[2].as_double(), 0.3);
+
+  EXPECT_EQ(parsed[3].at("type").as_string(), "vm_exit");
+  EXPECT_EQ(parsed[3].at("reason").as_string(), "completed");
+  EXPECT_EQ(parsed[3].at("user_cycles").as_u64(), 12345u);
+
+  EXPECT_EQ(parsed[4].at("type").as_string(), "phase");
+  EXPECT_EQ(parsed[4].at("phase").as_string(), "phase1.vote");
+  EXPECT_EQ(parsed[4].at("seq").as_u64(), 4u);
+}
+
+}  // namespace
+}  // namespace symbiosis::obs

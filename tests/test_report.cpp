@@ -1,0 +1,191 @@
+// Run-report exporter tests: build/validate round-trips, validator error
+// detection on corrupted documents, and the golden-report regression — a
+// fixed-seed 2-mix sweep compared field-by-field against the committed
+// tests/data/golden_report.json (volatile "timings"/"metrics" sections
+// excluded per the DESIGN.md §9 stability policy).
+//
+// Regenerating the golden file after an INTENTIONAL schema or simulation
+// change:  scripts/regen_golden_report.sh  (sets SYMBIOSIS_REGEN_GOLDEN=1
+// and reruns this suite, which then rewrites the file instead of comparing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "obs/json.hpp"
+
+#ifndef SYMBIOSIS_TEST_DATA_DIR
+#error "tests/CMakeLists.txt must define SYMBIOSIS_TEST_DATA_DIR"
+#endif
+
+namespace symbiosis::core {
+namespace {
+
+PipelineConfig tiny_pipeline() {
+  PipelineConfig c;
+  c.machine.hierarchy.num_cores = 2;
+  c.machine.hierarchy.l1 = {1024, 2, 64};
+  c.machine.hierarchy.l2 = {32 * 1024, 4, 64};
+  c.machine.quantum_cycles = 100'000;
+  c.sync_scale();
+  c.scale.length_scale = 0.05;
+  c.allocator_period_cycles = 500'000;
+  c.emulation_cycles = 4'000'000;
+  c.measure_max_cycles = 400'000'000;
+  return c;
+}
+
+/// A hand-built outcome with two mappings — enough structure for the
+/// exporter without running a simulation.
+MixOutcome synthetic_outcome() {
+  MixOutcome outcome;
+  outcome.mix = {"mcf", "povray"};
+  for (int m = 0; m < 2; ++m) {
+    MappingRun run;
+    run.allocation.groups = 2;
+    run.allocation.group_of = {0, 1};
+    run.names = outcome.mix;
+    run.user_cycles = {100 + static_cast<std::uint64_t>(m) * 20, 200};
+    run.wall_cycles = 500;
+    run.completed = true;
+    outcome.mappings.push_back(std::move(run));
+  }
+  outcome.chosen = 0;
+  outcome.votes = {{"0,1", 3}};
+  return outcome;
+}
+
+obs::Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return obs::Json::parse(buffer.str());
+}
+
+TEST(Report, MixReportValidatesAndRoundTrips) {
+  const obs::Json report = build_mix_report(tiny_pipeline(), synthetic_outcome());
+  EXPECT_TRUE(validate_report(report).empty());
+
+  // File round trip: write_report_file -> parse -> structurally equal.
+  const std::string path = ::testing::TempDir() + "symbiosis_mix_report.json";
+  write_report_file(report, path);
+  EXPECT_EQ(load_json_file(path), report);
+  std::remove(path.c_str());
+
+  // Deterministic sections carry the inputs through exactly.
+  EXPECT_EQ(report.at("kind").as_string(), "mix");
+  EXPECT_EQ(report.at("config").at("seed").as_u64(), tiny_pipeline().seed);
+  const obs::Json& outcome = report.at("outcome");
+  EXPECT_EQ(outcome.at("chosen").as_u64(), 0u);
+  EXPECT_EQ(outcome.at("mappings").size(), 2u);
+  EXPECT_EQ(outcome.at("improvements").as_array()[0].at("name").as_string(), "mcf");
+  // mcf: worst 120, chosen 100 -> (120-100)/120.
+  EXPECT_DOUBLE_EQ(
+      outcome.at("improvements").as_array()[0].at("improvement_vs_worst").as_double(),
+      20.0 / 120.0);
+}
+
+TEST(Report, ValidatorCatchesCorruptedReports) {
+  const PipelineConfig config = tiny_pipeline();
+  ASSERT_TRUE(validate_report(build_mix_report(config, synthetic_outcome())).empty());
+
+  {  // Not even an object.
+    EXPECT_EQ(validate_report(obs::Json(std::int64_t{7})).size(), 1u);
+  }
+  {  // Empty object: every required member reported, not just the first.
+    const auto problems = validate_report(obs::Json::object());
+    EXPECT_GE(problems.size(), 6u);
+  }
+  {  // Wrong schema stamp and version.
+    obs::Json report = build_mix_report(config, synthetic_outcome());
+    report.set("schema", obs::Json("not.a.report"));
+    report.set("schema_version", obs::Json(std::uint64_t{99}));
+    const auto problems = validate_report(report);
+    ASSERT_EQ(problems.size(), 2u);
+    EXPECT_NE(problems[0].find("schema"), std::string::npos);
+    EXPECT_NE(problems[1].find("99"), std::string::npos);
+  }
+  {  // Unknown kind.
+    obs::Json report = build_mix_report(config, synthetic_outcome());
+    report.set("kind", obs::Json("telemetry"));
+    const auto problems = validate_report(report);
+    // "telemetry" has no required sections, so exactly the kind complaint.
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("unknown report kind"), std::string::npos);
+  }
+  {  // Chosen index out of range.
+    obs::Json report = build_mix_report(config, synthetic_outcome());
+    obs::Json outcome = report.at("outcome");
+    outcome.set("chosen", obs::Json(std::uint64_t{7}));
+    report.set("outcome", std::move(outcome));
+    const auto problems = validate_report(report);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("chosen index out of range"), std::string::npos);
+  }
+  {  // names / user_cycles length mismatch inside a mapping.
+    MixOutcome bad = synthetic_outcome();
+    bad.mappings[1].names.pop_back();
+    const auto problems = validate_report(build_mix_report(config, bad));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("mappings.1"), std::string::npos);
+    EXPECT_NE(problems[0].find("lengths differ"), std::string::npos);
+  }
+}
+
+TEST(Report, OnlineReportValidates) {
+  OnlineConfig config;
+  config.pipeline = tiny_pipeline();
+  OnlineRun run;
+  run.names = {"mcf", "povray"};
+  run.user_cycles = {100, 200};
+  run.wall_cycles = 300;
+  run.final_mapping_key = "0|1";
+  run.completed = true;
+  const obs::Json with_baseline = build_online_report(config, run, &run);
+  EXPECT_TRUE(validate_report(with_baseline).empty());
+  EXPECT_TRUE(with_baseline.find("baseline"));
+  const obs::Json without = build_online_report(config, run);
+  EXPECT_TRUE(validate_report(without).empty());
+  EXPECT_FALSE(without.find("baseline"));
+}
+
+// --- golden report --------------------------------------------------------
+
+TEST(GoldenReport, FixedSeedSweepMatchesCommittedGolden) {
+  // Same tiny configuration the determinism suite uses: 4-program pool,
+  // mixes of 2, every program covered once -> a 2-mix sweep.
+  const PipelineConfig config = tiny_pipeline();
+  const SweepResult sweep =
+      run_sweep(config, {"mcf", "libquantum", "povray", "gobmk"}, 2, 1);
+  const obs::Json report = build_sweep_report(config, sweep);
+  ASSERT_TRUE(validate_report(report).empty());
+
+  const std::string golden_path = std::string(SYMBIOSIS_TEST_DATA_DIR) + "/golden_report.json";
+  if (std::getenv("SYMBIOSIS_REGEN_GOLDEN")) {
+    write_report_file(report, golden_path);
+    GTEST_SKIP() << "regenerated " << golden_path << " — review and commit the diff";
+  }
+
+  obs::Json golden;
+  try {
+    golden = load_json_file(golden_path);
+  } catch (const std::exception& e) {
+    FAIL() << e.what() << "\nrun scripts/regen_golden_report.sh to create the golden file";
+  }
+  EXPECT_TRUE(validate_report(golden).empty());
+
+  // Field-by-field compare of the deterministic sections only.
+  const auto diffs = obs::json_diff(golden, report, {"timings", "metrics"});
+  for (const auto& d : diffs) ADD_FAILURE() << d;
+  EXPECT_TRUE(diffs.empty())
+      << "golden report drifted; if the change is intentional, rerun "
+         "scripts/regen_golden_report.sh and commit the new golden file";
+}
+
+}  // namespace
+}  // namespace symbiosis::core

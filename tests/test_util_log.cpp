@@ -1,0 +1,96 @@
+// Logger tests: parse_log_level's documented mapping, SYMBIOSIS_LOG
+// environment initialization, and level filtering observed through a
+// redirected log stream.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace symbiosis::util {
+namespace {
+
+/// Restore the global level, stream, and SYMBIOSIS_LOG around each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = log_level();
+    ::unsetenv("SYMBIOSIS_LOG");
+  }
+  void TearDown() override {
+    set_log_level(previous_);
+    set_log_stream(nullptr);
+    ::unsetenv("SYMBIOSIS_LOG");
+  }
+
+ private:
+  LogLevel previous_ = LogLevel::Info;
+};
+
+TEST_F(LogTest, ParseLogLevelMapsEveryDocumentedName) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  // Unknown names fall back to Info, as documented.
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level(""), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::Debug) << "case-insensitive";
+}
+
+TEST_F(LogTest, InitFromEnvAppliesTheVariable) {
+  set_log_level(LogLevel::Warn);
+  ::setenv("SYMBIOSIS_LOG", "debug", 1);
+  EXPECT_EQ(init_log_from_env(), LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+}
+
+TEST_F(LogTest, InitFromEnvLeavesLevelWhenUnsetOrEmpty) {
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(init_log_from_env(), LogLevel::Error) << "unset leaves the level untouched";
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  ::setenv("SYMBIOSIS_LOG", "", 1);
+  EXPECT_EQ(init_log_from_env(), LogLevel::Error) << "empty behaves like unset";
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LogTest, InitFromEnvUnknownValueFallsBackToInfo) {
+  set_log_level(LogLevel::Error);
+  ::setenv("SYMBIOSIS_LOG", "chatty", 1);
+  EXPECT_EQ(init_log_from_env(), LogLevel::Info);
+  EXPECT_EQ(log_level(), LogLevel::Info);
+}
+
+TEST_F(LogTest, LevelFiltersMessages) {
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  set_log_stream(capture);
+  set_log_level(LogLevel::Warn);
+
+  SYMBIOSIS_LOG_DEBUG("dropped %d", 1);
+  SYMBIOSIS_LOG_INFO("dropped %d", 2);
+  SYMBIOSIS_LOG_WARN("kept %d", 3);
+  SYMBIOSIS_LOG_ERROR("kept %d", 4);
+
+  set_log_level(LogLevel::Off);
+  SYMBIOSIS_LOG_ERROR("dropped even at error %d", 5);
+
+  set_log_stream(nullptr);
+  std::fflush(capture);
+  std::rewind(capture);
+  std::string captured;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof buffer, capture)) captured += buffer;
+  std::fclose(capture);
+
+  EXPECT_EQ(captured.find("dropped"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("kept 3"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("kept 4"), std::string::npos) << captured;
+}
+
+}  // namespace
+}  // namespace symbiosis::util
