@@ -4,6 +4,9 @@
 // take per simulated reference.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "cachesim/hierarchy.hpp"
 #include "machine/machine.hpp"
 #include "workload/benchmark_model.hpp"
@@ -35,6 +38,29 @@ void BM_HierarchyAccess(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HierarchyAccess)->Arg(0)->Arg(1);
+
+void BM_HierarchyAccessBatch(benchmark::State& state) {
+  // The batched trace-replay path. A pregenerated ring of random references
+  // keeps RNG cost out of the timed region; one iteration replays one batch,
+  // so items_per_second (accesses/s) is the headline throughput number.
+  cachesim::HierarchyConfig cfg;
+  cfg.signature.enabled = true;
+  cachesim::Hierarchy h(cfg);
+  util::Rng rng(2);
+  constexpr std::size_t kRing = 1 << 16;
+  std::vector<cachesim::MemRef> refs(kRing);
+  for (auto& ref : refs) ref = {rng.next_below(1 << 22), rng.next_bool(0.3)};
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    if (pos + batch > kRing) pos = 0;
+    benchmark::DoNotOptimize(h.access_batch(0, refs.data() + pos, batch));
+    pos += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_HierarchyAccessBatch)->Arg(64)->Arg(1024);
 
 void BM_MachineStep(benchmark::State& state) {
   machine::MachineConfig cfg = machine::core2duo_config();

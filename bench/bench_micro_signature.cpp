@@ -40,6 +40,21 @@ void BM_CountingBloomInsertRemove(benchmark::State& state) {
 }
 BENCHMARK(BM_CountingBloomInsertRemove)->Arg(1)->Arg(2)->Arg(4);
 
+void BM_CountingBloomInsertRemovePrehashed(benchmark::State& state) {
+  // Replay-path variant: hash the k indices once per line (indices_of) and
+  // drive both the insert and the remove from the precomputed set — the
+  // pattern the batched trace replay uses for fill/evict pairs.
+  sig::CountingBloomFilter cbf(4096, 3, static_cast<unsigned>(state.range(0)));
+  sig::LineAddr line = 0;
+  for (auto _ : state) {
+    const sig::BloomIndices indices = cbf.indices_of(line);
+    cbf.insert(indices);
+    cbf.remove(indices);
+    ++line;
+  }
+}
+BENCHMARK(BM_CountingBloomInsertRemovePrehashed)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_FilterUnitFillEvict(benchmark::State& state) {
   sig::FilterUnitConfig cfg;
   cfg.num_cores = 2;

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""bench_gate.py -- compare Google Benchmark JSON output against a committed
+baseline and fail on per-benchmark real_time regressions.
+
+Usage:
+  scripts/bench_gate.py check  BENCH_kernels.json run.json [more.json ...]
+  scripts/bench_gate.py update BENCH_kernels.json run.json [more.json ...]
+
+  --tolerance FRAC   allowed fractional slowdown before failing (default 0.15;
+                     CI runs with the default, see the perf-gate job)
+
+`check` merges the benchmark entries of every run file (later files win on
+duplicate names), normalises all times to nanoseconds, and compares each
+benchmark's real_time against the baseline:
+
+  ratio = measured / baseline
+  ratio >  1 + tolerance  -> REGRESSION, exit 1
+  ratio <  1 - tolerance  -> improvement, printed (consider re-baselining)
+  otherwise               -> OK
+
+Benchmarks present in a run but absent from the baseline are informational
+("new"); baseline entries that no run file measured are warnings, not
+failures, so the signature and cachesim suites can be gated by separate CI
+steps against one shared baseline file.
+
+`update` rewrites the baseline's "benchmarks" section from the run files,
+preserving any other top-level keys (e.g. the "pre_pr" history section).
+Re-baseline deliberately, on a quiet machine, and commit the diff together
+with the change that moved the numbers — the same contract as
+scripts/regen_golden_report.sh for simulation semantics.
+
+Exit status: 0 when within tolerance, 1 on any regression or usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Multipliers to nanoseconds for Google Benchmark's time_unit field.
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_run_benchmarks(paths: list[Path]) -> dict[str, float]:
+    """Merge run files into {benchmark name: real_time in ns}."""
+    merged: dict[str, float] = {}
+    for path in paths:
+        doc = json.loads(path.read_text())
+        for entry in doc.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev from --benchmark_repetitions).
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            unit = TIME_UNITS_NS.get(entry.get("time_unit", "ns"))
+            if unit is None:
+                raise ValueError(f"{path}: unknown time_unit in {entry.get('name')}")
+            merged[entry["name"]] = float(entry["real_time"]) * unit
+    return merged
+
+
+def cmd_update(baseline_path: Path, runs: dict[str, float]) -> int:
+    doc = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    doc["benchmarks"] = {
+        name: {"real_time_ns": round(ns, 2)} for name, ns in sorted(runs.items())
+    }
+    baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {len(runs)} baseline entries to {baseline_path}")
+    print("review the diff and commit it with the change that moved the numbers")
+    return 0
+
+
+def cmd_check(baseline_path: Path, runs: dict[str, float], tolerance: float) -> int:
+    doc = json.loads(baseline_path.read_text())
+    baseline = {
+        name: entry["real_time_ns"] for name, entry in doc.get("benchmarks", {}).items()
+    }
+
+    regressions: list[str] = []
+    for name, measured_ns in sorted(runs.items()):
+        base_ns = baseline.get(name)
+        if base_ns is None:
+            print(f"  new        {name}: {measured_ns:.1f} ns (not in baseline)")
+            continue
+        ratio = measured_ns / base_ns
+        line = f"{name}: {measured_ns:.1f} ns vs baseline {base_ns:.1f} ns ({ratio:.2f}x)"
+        if ratio > 1.0 + tolerance:
+            regressions.append(line)
+            print(f"  REGRESSION {line}")
+        elif ratio < 1.0 - tolerance:
+            print(f"  improved   {line}")
+        else:
+            print(f"  ok         {line}")
+
+    for name in sorted(set(baseline) - set(runs)):
+        print(f"  warning    {name}: in baseline but not measured by any run file")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond the "
+            f"{tolerance:.0%} tolerance:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        print(
+            "\nIf the slowdown is intentional, re-baseline with\n"
+            f"  scripts/bench_gate.py update {baseline_path} <run.json ...>\n"
+            "and commit the diff with an explanation."
+        )
+        return 1
+    print(f"\nall {len(runs)} benchmarks within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["check", "update"])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("runs", type=Path, nargs="+")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args(argv)
+
+    runs = load_run_benchmarks(args.runs)
+    if not runs:
+        print("no benchmark entries found in the run files", file=sys.stderr)
+        return 1
+    if args.mode == "update":
+        return cmd_update(args.baseline, runs)
+    return cmd_check(args.baseline, runs, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,10 @@ namespace symbiosis::cachesim {
 Cache::Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t requestors,
              std::uint64_t seed)
     : geom_(geometry),
+      ways_(geometry.ways),
+      sets_(geometry.sets()),
+      set_mask_(geometry.sets() - 1),
+      set_bits_(geometry.set_bits()),
       policy_(make_replacement(replacement, geometry.sets(), geometry.ways, seed)),
       lines_(geometry.lines()),
       per_requestor_(requestors) {
@@ -16,17 +20,18 @@ Cache::Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t re
 AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
   SYM_DCHECK_BOUNDS(requestor, per_requestor_.size(), "cachesim.bounds");
   AccessResult result;
-  const std::size_t set = geom_.set_of(line);
-  const std::uint64_t tag = geom_.tag_of(line);
-  SYM_DCHECK_BOUNDS(set, geom_.sets(), "cachesim.bounds") << "set index from line decode";
+  const auto set = static_cast<std::size_t>(line & set_mask_);
+  const std::uint64_t tag = line >> set_bits_;
+  SYM_DCHECK_BOUNDS(set, sets_, "cachesim.bounds") << "set index from line decode";
   result.set = set;
 
   ++total_.accesses;
   ++per_requestor_[requestor].accesses;
 
   // Hit path.
-  for (std::size_t w = 0; w < geom_.ways; ++w) {
-    Line& entry = line_at(set, w);
+  Line* const set_lines = &lines_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& entry = set_lines[w];
     if (entry.valid && entry.tag == tag) {
       result.hit = true;
       result.way = w;
@@ -42,23 +47,23 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
   ++total_.misses;
   ++per_requestor_[requestor].misses;
 
-  std::size_t way = geom_.ways;  // sentinel
-  for (std::size_t w = 0; w < geom_.ways; ++w) {
-    if (!line_at(set, w).valid) {
+  std::size_t way = ways_;  // sentinel
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!set_lines[w].valid) {
       way = w;
       break;
     }
   }
-  if (way == geom_.ways) {
+  if (way == ways_) {
     way = policy_->victim(set);
-    SYM_DCHECK_LT(way, geom_.ways, "cachesim.replacement")
+    SYM_DCHECK_LT(way, ways_, "cachesim.replacement")
         << "replacement policy chose an out-of-range victim way";
-    Line& victim = line_at(set, way);
+    Line& victim = set_lines[way];
     SYM_DCHECK(victim.valid, "cachesim.replacement")
         << "victim way " << way << " of full set " << set << " is invalid";
     SYM_DCHECK_BOUNDS(victim.owner, per_requestor_.size(), "cachesim.bounds");
     result.evicted = true;
-    result.victim_line = (victim.tag << geom_.set_bits()) | set;
+    result.victim_line = (victim.tag << set_bits_) | set;
     result.victim_dirty = victim.dirty;
     ++total_.evictions;
     ++per_requestor_[victim.owner].evictions;
@@ -79,9 +84,9 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
 }
 
 bool Cache::probe(LineAddr line) const noexcept {
-  const std::size_t set = geom_.set_of(line);
-  const std::uint64_t tag = geom_.tag_of(line);
-  for (std::size_t w = 0; w < geom_.ways; ++w) {
+  const auto set = static_cast<std::size_t>(line & set_mask_);
+  const std::uint64_t tag = line >> set_bits_;
+  for (std::size_t w = 0; w < ways_; ++w) {
     const Line& entry = line_at(set, w);
     if (entry.valid && entry.tag == tag) return true;
   }
@@ -89,9 +94,9 @@ bool Cache::probe(LineAddr line) const noexcept {
 }
 
 bool Cache::invalidate(LineAddr line) noexcept {
-  const std::size_t set = geom_.set_of(line);
-  const std::uint64_t tag = geom_.tag_of(line);
-  for (std::size_t w = 0; w < geom_.ways; ++w) {
+  const auto set = static_cast<std::size_t>(line & set_mask_);
+  const std::uint64_t tag = line >> set_bits_;
+  for (std::size_t w = 0; w < ways_; ++w) {
     Line& entry = line_at(set, w);
     if (entry.valid && entry.tag == tag) {
       entry.valid = false;

@@ -81,13 +81,20 @@ class Cache {
   };
 
   [[nodiscard]] Line& line_at(std::size_t set, std::size_t way) noexcept {
-    return lines_[set * geom_.ways + way];
+    return lines_[set * ways_ + way];
   }
   [[nodiscard]] const Line& line_at(std::size_t set, std::size_t way) const noexcept {
-    return lines_[set * geom_.ways + way];
+    return lines_[set * ways_ + way];
   }
 
   CacheGeometry geom_;
+  // Geometry decode cached at construction: CacheGeometry recomputes
+  // sets()/set_bits() with integer divisions on every call, which dominates
+  // the tag-lookup hot path. These never change after construction.
+  std::size_t ways_;
+  std::size_t sets_;
+  std::uint64_t set_mask_;   ///< sets_ - 1 (sets is a power of two)
+  unsigned set_bits_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::vector<Line> lines_;
   CacheStats total_;

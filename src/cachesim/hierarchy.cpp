@@ -45,18 +45,18 @@ Hierarchy::Hierarchy(HierarchyConfig config) : config_(config) {
   }
 }
 
-MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
-  SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
+MemAccessResult Hierarchy::access_one(std::size_t core, Addr addr, bool is_write, Cache& l1,
+                                      Cache& l2, Tlb& tlb, sig::FilterUnit* filter,
+                                      StreamState& ss) {
   MemAccessResult result;
   const LineAddr line = config_.l1.line_of(addr);
 
-  result.tlb_hit = tlb_[core]->access(addr);
+  result.tlb_hit = tlb.access(addr);
   if (!result.tlb_hit) result.cycles += config_.latency.tlb_miss;
 
   // Stream detection (stride prefetcher model): two consecutive accesses
   // with the same short line stride mark the core as streaming; its L2
   // misses then cost latency.stream_miss instead of full memory latency.
-  StreamState& ss = stream_[core];
   const auto stride = static_cast<std::int64_t>(line) - static_cast<std::int64_t>(ss.last_line);
   const bool streaming =
       ss.valid && stride == ss.last_stride && stride != 0 && stride >= -8 && stride <= 8;
@@ -64,7 +64,7 @@ MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
   ss.last_line = line;
   ss.valid = true;
 
-  const AccessResult l1r = l1_[core]->access(line, is_write, 0);
+  const AccessResult l1r = l1.access(line, is_write, 0);
   result.cycles += config_.latency.l1_hit;
   if (l1r.hit) {
     result.l1_hit = true;
@@ -73,7 +73,6 @@ MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
   // L1 victims are silently dropped: writeback traffic does not perturb L2
   // replacement state in this model (inclusion already guarantees presence).
 
-  Cache& l2 = config_.shared_l2 ? *l2_.front() : *l2_[core];
   const AccessResult l2r = l2.access(line, is_write, core);
   result.cycles += config_.latency.l2_hit;
   if (l2r.hit) {
@@ -93,18 +92,51 @@ MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
                                      static_cast<std::uint32_t>(core)}));
     // Enforce L1 ⊆ L2 inclusion: the displaced line may not linger in any L1.
     if (config_.shared_l2) {
-      for (auto& l1 : l1_) l1->invalidate(l2r.victim_line);
+      for (auto& other : l1_) other->invalidate(l2r.victim_line);
     } else {
-      l1_[core]->invalidate(l2r.victim_line);
+      l1.invalidate(l2r.victim_line);
     }
-    if (filter_) {
-      filter_->on_evict(l2r.victim_line, l2r.set, l2r.way);
+    if (filter) {
+      filter->on_evict(l2r.victim_line, l2r.set, l2r.way);
     }
   }
-  if (filter_) {
-    filter_->on_fill(line, core, l2r.set, l2r.way);
+  if (filter) {
+    filter->on_fill(line, core, l2r.set, l2r.way);
   }
   return result;
+}
+
+MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
+  SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
+  Cache& l2 = config_.shared_l2 ? *l2_.front() : *l2_[core];
+  return access_one(core, addr, is_write, *l1_[core], l2, *tlb_[core],
+                    filter_ ? &*filter_ : nullptr, stream_[core]);
+}
+
+BatchSummary Hierarchy::access_batch(std::size_t core, const MemRef* refs, std::size_t n,
+                                     MemAccessResult* results) {
+  SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
+  // Hoist every core-indexed and config-dependent lookup out of the replay
+  // loop; the loop body itself is the canonical access_one().
+  Cache& l1 = *l1_[core];
+  Cache& l2 = config_.shared_l2 ? *l2_.front() : *l2_[core];
+  Tlb& tlb = *tlb_[core];
+  sig::FilterUnit* const filter = filter_ ? &*filter_ : nullptr;
+  StreamState& ss = stream_[core];
+
+  BatchSummary summary;
+  summary.accesses = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemAccessResult r = access_one(core, refs[i].addr, refs[i].is_write, l1, l2, tlb,
+                                         filter, ss);
+    summary.cycles += r.cycles;
+    summary.l1_hits += r.l1_hit;
+    summary.l2_hits += r.l2_hit;
+    summary.tlb_hits += r.tlb_hit;
+    summary.stream_prefetched += r.stream_prefetched;
+    if (results) results[i] = r;
+  }
+  return summary;
 }
 
 void Hierarchy::on_context_switch_in(std::size_t core) {
@@ -147,18 +179,23 @@ void Hierarchy::publish_metrics() {
   published_ = now;
 }
 
+void Hierarchy::reset_stats() noexcept {
+  // Counters and the publish baseline move together: the baseline tracks
+  // the per-cache totals, so zeroing one without the other would make the
+  // next publish_metrics() delta wrap around (unsigned now - published).
+  for (auto& l1 : l1_) l1->reset_stats();
+  for (auto& l2 : l2_) l2->reset_stats();
+  for (auto& tlb : tlb_) tlb->reset_stats();
+  published_ = PublishedStats{};
+}
+
 void Hierarchy::reset() {
   for (auto& l1 : l1_) l1->reset();
   for (auto& l2 : l2_) l2->reset();
-  for (auto& tlb : tlb_) {
-    tlb->flush();
-    tlb->reset_stats();
-  }
+  for (auto& tlb : tlb_) tlb->flush();
   if (filter_) filter_->reset();
   for (auto& ss : stream_) ss = StreamState{};
-  // The metric baseline tracks the per-cache stats we just zeroed; without
-  // this the next publish_metrics() would compute wrapped-around deltas.
-  published_ = PublishedStats{};
+  reset_stats();
 }
 
 }  // namespace symbiosis::cachesim

@@ -62,6 +62,26 @@ struct MemAccessResult {
   bool l2_hit = false;
   bool tlb_hit = false;
   bool stream_prefetched = false;  ///< L2 miss served at stream_miss cost
+
+  [[nodiscard]] bool operator==(const MemAccessResult&) const noexcept = default;
+};
+
+/// One reference of a replayed trace (batched-access input element).
+struct MemRef {
+  Addr addr = 0;
+  bool is_write = false;
+};
+
+/// Aggregate outcome of one access_batch() call.
+struct BatchSummary {
+  std::uint64_t accesses = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t stream_prefetched = 0;
+
+  [[nodiscard]] bool operator==(const BatchSummary&) const noexcept = default;
 };
 
 /// The memory hierarchy of one simulated machine.
@@ -71,6 +91,15 @@ class Hierarchy {
 
   /// One load/store by @p core at byte address @p addr.
   MemAccessResult access(std::size_t core, Addr addr, bool is_write);
+
+  /// Batched trace replay: process @p n references for @p core exactly as n
+  /// successive access() calls would (bit-identical results, stats, filter
+  /// and replacement state — the differential suite pins this down), but
+  /// with the per-access overhead (core-indexed lookups, L2/filter
+  /// resolution, bounds checks) hoisted out of the loop. When @p results is
+  /// non-null it receives one MemAccessResult per reference.
+  BatchSummary access_batch(std::size_t core, const MemRef* refs, std::size_t n,
+                            MemAccessResult* results = nullptr);
 
   /// Context-switch hooks forwarded to TLB and signature hardware.
   void on_context_switch_in(std::size_t core);
@@ -105,10 +134,25 @@ class Hierarchy {
   /// cold boundaries (hook firings and end of run).
   void publish_metrics();
 
+  /// Clear ONLY counters — every cache's total and per-requestor CacheStats,
+  /// TLB hit/miss counts — and re-baseline the obs delta publisher, all in
+  /// one place. Tag arrays, filters and stream state are untouched, so this
+  /// is safe mid-run (e.g. to discard a warm-up phase). Resetting individual
+  /// caches via l1()/l2() instead leaves the publisher baseline stale and
+  /// makes the next publish_metrics() delta wrap around; use this.
+  void reset_stats() noexcept;
+
   /// Clear all caches, TLBs, filters and stats.
   void reset();
 
  private:
+  struct StreamState;
+
+  /// Shared per-access body: access() and access_batch() both funnel here so
+  /// the batched path cannot drift from the canonical one.
+  MemAccessResult access_one(std::size_t core, Addr addr, bool is_write, Cache& l1, Cache& l2,
+                             Tlb& tlb, sig::FilterUnit* filter, StreamState& ss);
+
   HierarchyConfig config_;
   std::vector<std::unique_ptr<Cache>> l1_;
   std::vector<std::unique_ptr<Cache>> l2_;   // size 1 (shared) or num_cores

@@ -183,15 +183,20 @@ SweepResult run_sweep(const PipelineConfig& config, const std::vector<std::strin
                      mix_size, pool.size());
   result.outcomes.resize(result.mixes.size());
 
-  // Each experiment builds its own Machine from the shared config and writes
-  // only outcomes[i], so the result is independent of worker interleaving —
-  // the determinism suite pins this down for 1/2/8-thread pools vs serial.
+  // Each experiment builds its own Machine (and therefore its own RNG
+  // streams, derived from config.seed) and writes only outcomes[i], so the
+  // result is independent of worker interleaving AND of the shard cut — the
+  // determinism suite pins this down for 1/2/8-thread pools vs serial.
   auto run_one = [&](std::size_t i) {
     result.outcomes[i] = multithreaded ? run_mix_experiment_mt(config, result.mixes[i])
                                        : run_mix_experiment(config, result.mixes[i]);
   };
   if (pool_threads) {
-    pool_threads->parallel_for(0, result.mixes.size(), run_one);
+    // Shard the mix list so each pool task amortises queue overhead across
+    // several experiments while every worker still gets ~4 shards to steal.
+    const std::size_t grain = std::max<std::size_t>(
+        1, result.mixes.size() / (pool_threads->size() * 4));
+    pool_threads->parallel_for_sharded(0, result.mixes.size(), run_one, grain);
   } else {
     for (std::size_t i = 0; i < result.mixes.size(); ++i) run_one(i);
   }

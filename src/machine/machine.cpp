@@ -257,4 +257,11 @@ void Machine::run_for(std::uint64_t cycles) {
   publish_metrics();
 }
 
+std::uint64_t Machine::run_batch(std::uint64_t batches) {
+  std::uint64_t executed = 0;
+  while (executed < batches && advance_one()) ++executed;
+  publish_metrics();
+  return executed;
+}
+
 }  // namespace symbiosis::machine

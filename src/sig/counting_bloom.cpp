@@ -7,10 +7,6 @@
 
 namespace symbiosis::sig {
 
-namespace {
-constexpr unsigned kMaxHashes = 8;
-}
-
 CountingBloomFilter::CountingBloomFilter(std::size_t entries, unsigned counter_bits, unsigned k,
                                          HashKind kind)
     : hash_(kind, entries),
@@ -26,39 +22,41 @@ CountingBloomFilter::CountingBloomFilter(std::size_t entries, unsigned counter_b
   }
 }
 
-unsigned CountingBloomFilter::distinct_indices(LineAddr line, std::size_t* out) const noexcept {
-  unsigned n = 0;
+BloomIndices CountingBloomFilter::indices_of(LineAddr line) const noexcept {
+  BloomIndices out;
+  if (k_ == 1) {
+    // The paper's configuration: one hash, no dedup pass needed.
+    out.idx[0] = hash_.index(line);
+    out.count = 1;
+    return out;
+  }
   for (unsigned i = 0; i < k_; ++i) {
     const std::size_t idx = hash_.index_k(line, i);
     bool duplicate = false;
-    for (unsigned j = 0; j < n; ++j) {
-      if (out[j] == idx) {
+    for (unsigned j = 0; j < out.count; ++j) {
+      if (out.idx[j] == idx) {
         duplicate = true;
         break;
       }
     }
-    if (!duplicate) out[n++] = idx;
+    if (!duplicate) out.idx[out.count++] = idx;
   }
-  return n;
+  return out;
 }
 
-void CountingBloomFilter::insert(LineAddr line) noexcept {
-  std::size_t idx[kMaxHashes];
-  const unsigned n = distinct_indices(line, idx);
-  for (unsigned i = 0; i < n; ++i) {
-    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
-    auto& counter = counters_[idx[i]];
+void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
+  for (unsigned i = 0; i < indices.count; ++i) {
+    SYM_DCHECK_BOUNDS(indices.idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
+    auto& counter = counters_[indices.idx[i]];
     if (counter == 0) ++nonzero_;
     if (counter < max_value_) ++counter;  // saturate, never wrap
   }
 }
 
-void CountingBloomFilter::remove(LineAddr line) noexcept {
-  std::size_t idx[kMaxHashes];
-  const unsigned n = distinct_indices(line, idx);
-  for (unsigned i = 0; i < n; ++i) {
-    SYM_DCHECK_BOUNDS(idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
-    auto& counter = counters_[idx[i]];
+void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
+  for (unsigned i = 0; i < indices.count; ++i) {
+    SYM_DCHECK_BOUNDS(indices.idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
+    auto& counter = counters_[indices.idx[i]];
     if (counter == 0 || counter == max_value_) continue;  // underflow / stuck-at-max
     --counter;
     if (counter == 0) {
@@ -70,10 +68,12 @@ void CountingBloomFilter::remove(LineAddr line) noexcept {
 }
 
 bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
-  std::size_t idx[kMaxHashes];
-  const unsigned n = distinct_indices(line, idx);
-  for (unsigned i = 0; i < n; ++i) {
-    if (counters_[idx[i]] == 0) return false;
+  return maybe_contains(indices_of(line));
+}
+
+bool CountingBloomFilter::maybe_contains(const BloomIndices& indices) const noexcept {
+  for (unsigned i = 0; i < indices.count; ++i) {
+    if (counters_[indices.idx[i]] == 0) return false;
   }
   return true;
 }

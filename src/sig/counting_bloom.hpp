@@ -15,9 +15,21 @@
 
 namespace symbiosis::sig {
 
+/// The distinct hash indices of one line address, hashed once and reusable
+/// across insert/remove/query (the replay hot path pairs a fill with a
+/// later eviction of the same line — hashing once per event pair halves the
+/// hash work).
+struct BloomIndices {
+  unsigned count = 0;
+  std::size_t idx[8];
+};
+
 /// Counting Bloom filter over line addresses.
 class CountingBloomFilter {
  public:
+  /// Hard ceiling on k (must match BloomIndices::idx capacity).
+  static constexpr unsigned kMaxHashes = 8;
+
   /// @param entries       counter-array size
   /// @param counter_bits  counter width L (1..16); counters saturate at
   ///                      2^L - 1 instead of wrapping
@@ -26,18 +38,27 @@ class CountingBloomFilter {
   CountingBloomFilter(std::size_t entries, unsigned counter_bits, unsigned k = 1,
                       HashKind kind = HashKind::Xor);
 
+  /// Precompute the distinct indices of the k hashes for @p line.
+  [[nodiscard]] BloomIndices indices_of(LineAddr line) const noexcept;
+
   /// Record an address entering the set (cache fill). Each distinct index
   /// among the k hashes is incremented once (saturating).
-  void insert(LineAddr line) noexcept;
+  void insert(LineAddr line) noexcept { insert(indices_of(line)); }
+  /// insert() with indices hashed earlier via indices_of().
+  void insert(const BloomIndices& indices) noexcept;
 
   /// Record an address leaving the set (cache eviction). Each distinct index
   /// is decremented once; decrementing a zero or saturated counter is a
   /// no-op (a saturated counter has lost its exact count and can never be
   /// safely decremented — this models the hardware's stuck-at-max policy).
-  void remove(LineAddr line) noexcept;
+  void remove(LineAddr line) noexcept { remove(indices_of(line)); }
+  /// remove() with indices hashed earlier via indices_of().
+  void remove(const BloomIndices& indices) noexcept;
 
   /// Query: false = true miss (definitely absent); true = inconclusive.
   [[nodiscard]] bool maybe_contains(LineAddr line) const noexcept;
+  /// maybe_contains() with indices hashed earlier via indices_of().
+  [[nodiscard]] bool maybe_contains(const BloomIndices& indices) const noexcept;
 
   void reset() noexcept;
 
@@ -60,10 +81,6 @@ class CountingBloomFilter {
   void validate() const;
 
  private:
-  /// Collect the distinct indices of the k hashes for @p line into @p out
-  /// (size <= k); returns the count.
-  unsigned distinct_indices(LineAddr line, std::size_t* out) const noexcept;
-
   IndexHash hash_;
   unsigned counter_bits_;
   unsigned k_;

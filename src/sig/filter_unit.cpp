@@ -13,6 +13,7 @@ namespace symbiosis::sig {
 FilterUnit::FilterUnit(FilterUnitConfig config)
     : config_(config),
       presence_mode_(config.hash == HashKind::Presence),
+      single_index_(presence_mode_ || config.hash_functions == 1),
       counter_max_(static_cast<std::uint16_t>((1u << config.counter_bits) - 1)),
       counters_(config.entries(), 0) {
   if (config.num_cores == 0) throw std::invalid_argument("FilterUnit: num_cores must be > 0");
@@ -65,6 +66,16 @@ void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
                          std::size_t way) noexcept {
   SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
   SYM_DCHECK_LT(way, config_.cache_ways, "sig.filter") << "fill way out of range";
+  if (single_index_) {
+    // Hot path (presence mode or the paper's k = 1): one index, no dedup.
+    if (!config_.sampled(set)) return;
+    const std::size_t idx = single_index_of(line, set, way);
+    SYM_DCHECK_BOUNDS(idx, counters_.size(), "sig.filter") << "filter index out of range";
+    auto& counter = counters_[idx];
+    if (counter < counter_max_) ++counter;  // saturate, never wrap
+    cf_[core].set(idx);
+    return;
+  }
   std::size_t idx[kMaxHashFunctions];
   const unsigned n = indices_of(line, set, way, idx);
   for (unsigned i = 0; i < n; ++i) {
@@ -76,6 +87,17 @@ void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
 }
 
 void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexcept {
+  if (single_index_) {
+    if (!config_.sampled(set)) return;
+    const std::size_t idx = single_index_of(line, set, way);
+    SYM_DCHECK_BOUNDS(idx, counters_.size(), "sig.filter") << "filter index out of range";
+    auto& counter = counters_[idx];
+    if (counter == 0 || counter == counter_max_) return;  // underflow / stuck-at-max
+    if (--counter == 0) {
+      for (auto& cf : cf_) cf.clear(idx);
+    }
+    return;
+  }
   std::size_t idx[kMaxHashFunctions];
   const unsigned n = indices_of(line, set, way, idx);
   for (unsigned i = 0; i < n; ++i) {

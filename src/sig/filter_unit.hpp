@@ -122,9 +122,19 @@ class FilterUnit {
   [[nodiscard]] unsigned indices_of(LineAddr line, std::size_t set, std::size_t way,
                                     std::size_t* out) const noexcept;
 
+  /// Single distinct index per event: presence mode (positional) or k = 1
+  /// (the paper's configuration). Lets the hot event handlers skip the
+  /// index-array + dedup pass entirely.
+  [[nodiscard]] std::size_t single_index_of(LineAddr line, std::size_t set,
+                                            std::size_t way) const noexcept {
+    return presence_mode_ ? (set >> config_.sample_shift) * config_.cache_ways + way
+                          : hash_->index(line);
+  }
+
   FilterUnitConfig config_;
   std::optional<IndexHash> hash_;        // engaged unless in presence mode
   bool presence_mode_;
+  bool single_index_;                    // presence mode or hash_functions == 1
   std::uint16_t counter_max_;
   std::vector<std::uint16_t> counters_;  // shared counter array
   std::vector<BitVector> cf_;            // per-core Core Filters

@@ -2,15 +2,10 @@
 
 #include <stdexcept>
 
-#include "util/bitops.hpp"
-
 namespace symbiosis::sig {
 
-using util::bits;
 using util::floor_log2;
 using util::is_pow2;
-using util::low_mask;
-using util::reverse_bits;
 
 std::string to_string(HashKind kind) {
   switch (kind) {
@@ -46,45 +41,6 @@ IndexHash::IndexHash(HashKind kind, std::size_t entries)
         "IndexHash: presence bits are positional (set/way), not an address hash; "
         "configure the filter unit with HashKind::Presence instead");
   }
-}
-
-std::size_t IndexHash::index(LineAddr line) const noexcept {
-  switch (kind_) {
-    case HashKind::Xor: {
-      // Fold the line address into index_bits_-wide chunks and XOR them.
-      std::uint64_t acc = 0;
-      for (unsigned lo = 0; lo < 64; lo += index_bits_) {
-        acc ^= bits(line, lo, index_bits_);
-      }
-      return static_cast<std::size_t>(acc & low_mask(index_bits_));
-    }
-    case HashKind::XorInverseReverse: {
-      std::uint64_t acc = 0;
-      for (unsigned lo = 0; lo < 64; lo += index_bits_) {
-        acc ^= bits(line, lo, index_bits_);
-      }
-      acc = ~acc & low_mask(index_bits_);
-      return static_cast<std::size_t>(reverse_bits(acc, index_bits_));
-    }
-    case HashKind::Modulo:
-      return static_cast<std::size_t>(line % entries_);
-    case HashKind::Multiply: {
-      const std::uint64_t mixed = line * 0x9e3779b97f4a7c15ull;
-      return static_cast<std::size_t>(mixed >> (64 - index_bits_));
-    }
-    case HashKind::Presence:
-      return 0;  // unreachable: rejected in the constructor
-  }
-  return 0;
-}
-
-std::size_t IndexHash::index_k(LineAddr line, unsigned k) const noexcept {
-  if (k == 0) return index(line);
-  // Pre-mix with a per-function odd constant so the k functions differ; the
-  // mixing is cheap XOR/shift only, keeping the hardware-cost argument valid.
-  const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (2ull * k + 1ull);
-  const LineAddr mixed = line ^ (salt >> 13) ^ (line << (k % 7 + 1));
-  return index(mixed);
 }
 
 }  // namespace symbiosis::sig

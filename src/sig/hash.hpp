@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/bitops.hpp"
+
 namespace symbiosis::sig {
 
 /// Cache-line (block) address: byte address >> line_bits.
@@ -43,17 +45,56 @@ class IndexHash {
   IndexHash(HashKind kind, std::size_t entries);
 
   /// Map a line address to an index in [0, entries).
-  [[nodiscard]] std::size_t index(LineAddr line) const noexcept;
+  ///
+  /// Defined inline: this is the innermost kernel of every Bloom update on
+  /// the simulation hot path, and the call sites (CountingBloomFilter,
+  /// FilterUnit) live in other translation units.
+  [[nodiscard]] std::size_t index(LineAddr line) const noexcept {
+    switch (kind_) {
+      case HashKind::Xor:
+        return static_cast<std::size_t>(xor_fold(line) & util::low_mask(index_bits_));
+      case HashKind::XorInverseReverse: {
+        const std::uint64_t acc = ~xor_fold(line) & util::low_mask(index_bits_);
+        return static_cast<std::size_t>(util::reverse_bits(acc, index_bits_));
+      }
+      case HashKind::Modulo:
+        return static_cast<std::size_t>(line % entries_);
+      case HashKind::Multiply: {
+        const std::uint64_t mixed = line * 0x9e3779b97f4a7c15ull;
+        return static_cast<std::size_t>(mixed >> (64 - index_bits_));
+      }
+      case HashKind::Presence:
+        return 0;  // unreachable: rejected in the constructor
+    }
+    return 0;
+  }
 
   /// Derive the i-th independent hash (for multi-hash Bloom filters):
   /// the line address is pre-mixed with a per-function odd constant.
-  [[nodiscard]] std::size_t index_k(LineAddr line, unsigned k) const noexcept;
+  [[nodiscard]] std::size_t index_k(LineAddr line, unsigned k) const noexcept {
+    if (k == 0) return index(line);
+    // Pre-mix with a per-function odd constant so the k functions differ;
+    // the mixing is cheap XOR/shift only, keeping the hardware-cost
+    // argument valid.
+    const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (2ull * k + 1ull);
+    const LineAddr mixed = line ^ (salt >> 13) ^ (line << (k % 7 + 1));
+    return index(mixed);
+  }
 
   [[nodiscard]] HashKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
   [[nodiscard]] unsigned index_bits() const noexcept { return index_bits_; }
 
  private:
+  /// Fold the 64-bit line address into index_bits_-wide chunks and XOR them.
+  [[nodiscard]] std::uint64_t xor_fold(LineAddr line) const noexcept {
+    std::uint64_t acc = 0;
+    for (unsigned lo = 0; lo < 64; lo += index_bits_) {
+      acc ^= util::bits(line, lo, index_bits_);
+    }
+    return acc;
+  }
+
   HashKind kind_;
   std::size_t entries_;
   unsigned index_bits_;

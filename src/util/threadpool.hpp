@@ -54,6 +54,15 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Sharded variant: the range is cut into contiguous shards of up to
+  /// @p grain indices and one pool task runs each shard serially, amortising
+  /// queue/future overhead when per-index work is small. Indices within a
+  /// shard run in ascending order; results must not depend on cross-index
+  /// ordering (the determinism suite enforces this for sweeps). grain == 1
+  /// is exactly parallel_for.
+  void parallel_for_sharded(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& fn, std::size_t grain);
+
  private:
   void worker_loop();
 

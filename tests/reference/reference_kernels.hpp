@@ -1,0 +1,277 @@
+// reference_kernels.hpp — deliberately naive reference implementations of
+// the simulation hot-path kernels (cache access, counting-Bloom update,
+// split-filter signature unit, bit-vector metrics).
+//
+// These models optimise for OBVIOUSNESS, not speed: straight-line loops,
+// per-bit scans, std::set-based dedup, recounted aggregates. The optimised
+// kernels in src/ (word-parallel popcounts, cached geometry masks, k = 1
+// fast paths, batched replay) are checked against them on randomised and
+// adversarial inputs by tests/test_differential_kernels.cpp. If you change
+// kernel SEMANTICS, change the reference here in the same PR — the suite
+// exists to catch accidental drift from performance work, not to freeze
+// behaviour forever.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "sig/bitvector.hpp"
+#include "sig/counting_bloom.hpp"
+#include "sig/filter_unit.hpp"
+#include "sig/hash.hpp"
+
+namespace symbiosis::testref {
+
+/// Naive set-associative cache with explicit per-line timestamps. Supports
+/// the two deterministic replacement policies (LRU and FIFO); Random and
+/// TreePlru keep extra policy state the naive model intentionally omits.
+class ReferenceCache {
+ public:
+  ReferenceCache(cachesim::CacheGeometry geometry, cachesim::ReplacementKind replacement,
+                 std::size_t requestors)
+      : geom_(geometry),
+        fifo_(replacement == cachesim::ReplacementKind::Fifo),
+        lines_(geometry.lines()),
+        per_requestor_(requestors) {}
+
+  cachesim::AccessResult access(cachesim::LineAddr line, bool is_write, std::size_t requestor) {
+    cachesim::AccessResult result;
+    const std::size_t set = geom_.set_of(line);
+    const std::uint64_t tag = geom_.tag_of(line);
+    result.set = set;
+    ++total_.accesses;
+    ++per_requestor_[requestor].accesses;
+
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+      Line& entry = lines_[set * geom_.ways + w];
+      if (entry.valid && entry.tag == tag) {
+        result.hit = true;
+        result.way = w;
+        entry.dirty = entry.dirty || is_write;
+        if (!fifo_) entry.stamp = ++clock_;  // LRU refreshes on touch, FIFO does not
+        ++total_.hits;
+        ++per_requestor_[requestor].hits;
+        return result;
+      }
+    }
+
+    ++total_.misses;
+    ++per_requestor_[requestor].misses;
+
+    std::size_t way = geom_.ways;
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+      if (!lines_[set * geom_.ways + w].valid) {
+        way = w;
+        break;
+      }
+    }
+    if (way == geom_.ways) {
+      // Victim: smallest stamp, lowest way on ties (matches the policies'
+      // strict < scan).
+      way = 0;
+      for (std::size_t w = 1; w < geom_.ways; ++w) {
+        if (lines_[set * geom_.ways + w].stamp < lines_[set * geom_.ways + way].stamp) way = w;
+      }
+      Line& victim = lines_[set * geom_.ways + way];
+      result.evicted = true;
+      result.victim_line = (victim.tag << geom_.set_bits()) | set;
+      result.victim_dirty = victim.dirty;
+      ++total_.evictions;
+      ++per_requestor_[victim.owner].evictions;
+      if (victim.dirty) {
+        ++total_.writebacks;
+        ++per_requestor_[victim.owner].writebacks;
+      }
+    }
+
+    Line& entry = lines_[set * geom_.ways + way];
+    entry.tag = tag;
+    entry.valid = true;
+    entry.dirty = is_write;
+    entry.owner = requestor;
+    entry.stamp = ++clock_;  // both LRU and FIFO stamp on fill
+    result.way = way;
+    return result;
+  }
+
+  [[nodiscard]] std::size_t occupancy(std::size_t requestor) const {
+    std::size_t count = 0;
+    for (const Line& entry : lines_) {
+      if (entry.valid &&
+          (requestor == cachesim::Cache::kAnyRequestor || entry.owner == requestor)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  [[nodiscard]] const cachesim::CacheStats& stats() const { return total_; }
+  [[nodiscard]] const cachesim::CacheStats& stats_for(std::size_t requestor) const {
+    return per_requestor_.at(requestor);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::size_t owner = 0;
+  };
+
+  cachesim::CacheGeometry geom_;
+  bool fifo_;
+  std::vector<Line> lines_;
+  std::uint64_t clock_ = 0;
+  cachesim::CacheStats total_;
+  std::vector<cachesim::CacheStats> per_requestor_;
+};
+
+/// Naive counting Bloom filter: std::set dedup, recounted aggregates.
+class ReferenceCbf {
+ public:
+  ReferenceCbf(std::size_t entries, unsigned counter_bits, unsigned k, sig::HashKind kind)
+      : hash_(kind, entries), k_(k), max_value_((1u << counter_bits) - 1), counters_(entries, 0) {}
+
+  [[nodiscard]] std::set<std::size_t> indices_of(sig::LineAddr line) const {
+    std::set<std::size_t> out;
+    for (unsigned i = 0; i < k_; ++i) out.insert(hash_.index_k(line, i));
+    return out;
+  }
+
+  void insert(sig::LineAddr line) {
+    for (const std::size_t idx : indices_of(line)) {
+      if (counters_[idx] < max_value_) ++counters_[idx];
+    }
+  }
+
+  void remove(sig::LineAddr line) {
+    for (const std::size_t idx : indices_of(line)) {
+      if (counters_[idx] == 0 || counters_[idx] == max_value_) continue;
+      --counters_[idx];
+    }
+  }
+
+  [[nodiscard]] bool maybe_contains(sig::LineAddr line) const {
+    for (const std::size_t idx : indices_of(line)) {
+      if (counters_[idx] == 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t nonzero_count() const {
+    std::size_t n = 0;
+    for (const unsigned c : counters_) n += c != 0;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t saturated_count() const {
+    std::size_t n = 0;
+    for (const unsigned c : counters_) n += c == max_value_;
+    return n;
+  }
+
+  [[nodiscard]] unsigned counter_at(std::size_t i) const { return counters_.at(i); }
+
+ private:
+  sig::IndexHash hash_;
+  unsigned k_;
+  unsigned max_value_;
+  std::vector<unsigned> counters_;
+};
+
+/// Naive split-CBF signature unit: shared counters + per-core index SETS.
+class ReferenceFilterUnit {
+ public:
+  explicit ReferenceFilterUnit(const sig::FilterUnitConfig& config)
+      : config_(config),
+        max_value_((1u << config.counter_bits) - 1),
+        counters_(config.entries(), 0),
+        cf_(config.num_cores),
+        lf_(config.num_cores) {}
+
+  [[nodiscard]] std::set<std::size_t> indices_of(sig::LineAddr line, std::size_t set,
+                                                 std::size_t way) const {
+    std::set<std::size_t> out;
+    if (!config_.sampled(set)) return out;
+    if (config_.hash == sig::HashKind::Presence) {
+      out.insert((set >> config_.sample_shift) * config_.cache_ways + way);
+      return out;
+    }
+    const sig::IndexHash hash(config_.hash, config_.entries());
+    for (unsigned k = 0; k < config_.hash_functions; ++k) out.insert(hash.index_k(line, k));
+    return out;
+  }
+
+  void on_fill(sig::LineAddr line, std::size_t core, std::size_t set, std::size_t way) {
+    for (const std::size_t idx : indices_of(line, set, way)) {
+      if (counters_[idx] < max_value_) ++counters_[idx];
+      cf_[core].insert(idx);
+    }
+  }
+
+  void on_evict(sig::LineAddr line, std::size_t set, std::size_t way) {
+    for (const std::size_t idx : indices_of(line, set, way)) {
+      if (counters_[idx] == 0 || counters_[idx] == max_value_) continue;
+      if (--counters_[idx] == 0) {
+        for (auto& cf : cf_) cf.erase(idx);
+      }
+    }
+  }
+
+  void snapshot(std::size_t core) { lf_[core] = cf_[core]; }
+
+  /// RBV = CF \ LF as an index set.
+  [[nodiscard]] std::set<std::size_t> rbv(std::size_t core) const {
+    std::set<std::size_t> out;
+    for (const std::size_t idx : cf_[core]) {
+      if (!lf_[core].count(idx)) out.insert(idx);
+    }
+    return out;
+  }
+
+  /// popcount(a XOR b) over index sets = |symmetric difference|.
+  [[nodiscard]] static std::size_t sym_diff(const std::set<std::size_t>& a,
+                                            const std::set<std::size_t>& b) {
+    std::size_t n = 0;
+    for (const std::size_t idx : a) n += !b.count(idx);
+    for (const std::size_t idx : b) n += !a.count(idx);
+    return n;
+  }
+
+  [[nodiscard]] unsigned counter_at(std::size_t i) const { return counters_.at(i); }
+  [[nodiscard]] const std::set<std::size_t>& cf(std::size_t core) const { return cf_.at(core); }
+  [[nodiscard]] const std::set<std::size_t>& lf(std::size_t core) const { return lf_.at(core); }
+
+ private:
+  sig::FilterUnitConfig config_;
+  unsigned max_value_;
+  std::vector<unsigned> counters_;
+  std::vector<std::set<std::size_t>> cf_;
+  std::vector<std::set<std::size_t>> lf_;
+};
+
+/// Per-bit reference popcounts over BitVector (no word tricks).
+[[nodiscard]] inline std::size_t naive_popcount(const sig::BitVector& v) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) n += v.test(i);
+  return n;
+}
+
+[[nodiscard]] inline std::size_t naive_xor_popcount(const sig::BitVector& a,
+                                                    const sig::BitVector& b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) n += a.test(i) != b.test(i);
+  return n;
+}
+
+[[nodiscard]] inline std::size_t naive_and_popcount(const sig::BitVector& a,
+                                                    const sig::BitVector& b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) n += a.test(i) && b.test(i);
+  return n;
+}
+
+}  // namespace symbiosis::testref

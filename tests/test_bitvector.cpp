@@ -138,5 +138,92 @@ TEST(BitVector, Equality) {
   EXPECT_EQ(a, b);
 }
 
+// --- awkward-width property tests -----------------------------------------
+// The word-parallel kernels special-case the final partial word; every width
+// class around the 64-bit boundary gets a randomized workout against a
+// std::vector<bool> model. Width 0 is ops-free (set/clear on an empty vector
+// are out of bounds by contract) but must still compare and count cleanly.
+
+TEST(BitVector, ZeroWidthIsWellBehaved) {
+  BitVector a(0), b(0);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.popcount(), 0u);
+  EXPECT_EQ(a.xor_popcount(b), 0u);
+  EXPECT_EQ(a.and_popcount(b), 0u);
+  EXPECT_EQ(a, b);
+  a.reset();
+  EXPECT_EQ(a.popcount(), 0u);
+  BitVector rbv(0);
+  rbv.assign_and_not(a, b);
+  EXPECT_EQ(rbv.popcount(), 0u);
+}
+
+TEST(BitVector, AwkwardWidthsMatchBoolVectorModel) {
+  util::Rng rng(17);
+  for (const std::size_t n : {1ul, 63ul, 64ul, 65ul, 4095ul}) {
+    BitVector v(n), w(n);
+    std::vector<bool> ref_v(n, false), ref_w(n, false);
+    const int steps = 2000;
+    for (int step = 0; step < steps; ++step) {
+      const std::size_t i = rng.next_below(n);
+      const bool set = rng.next_bool(0.6);
+      if (rng.next_bool(0.5)) {
+        set ? v.set(i) : v.clear(i);
+        ref_v[i] = set;
+      } else {
+        set ? w.set(i) : w.clear(i);
+        ref_w[i] = set;
+      }
+      if (step % 250 != 0) continue;
+      std::size_t pc = 0, xp = 0, ap = 0, an = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        pc += ref_v[j];
+        xp += ref_v[j] != ref_w[j];
+        ap += ref_v[j] && ref_w[j];
+        an += ref_v[j] && !ref_w[j];
+      }
+      ASSERT_EQ(v.popcount(), pc) << "width " << n;
+      ASSERT_EQ(v.xor_popcount(w), xp) << "width " << n;
+      ASSERT_EQ(v.and_popcount(w), ap) << "width " << n;
+      BitVector rbv(n);
+      rbv.assign_and_not(v, w);
+      ASSERT_EQ(rbv.popcount(), an) << "width " << n;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(v.test(j), static_cast<bool>(ref_v[j])) << "width " << n << " bit " << j;
+      }
+    }
+    // The last partial word must hold no stray bits beyond size(): saturate
+    // the vector, then count.
+    for (std::size_t j = 0; j < n; ++j) v.set(j);
+    EXPECT_EQ(v.popcount(), n);
+    EXPECT_DOUBLE_EQ(v.fill_ratio(), 1.0);
+    BitVector full(n);
+    full.assign(v);
+    EXPECT_EQ(full, v);
+  }
+}
+
+TEST(BitVector, AwkwardWidthInPlaceOpsMatchModel) {
+  util::Rng rng(19);
+  for (const std::size_t n : {1ul, 63ul, 64ul, 65ul, 4095ul}) {
+    BitVector a(n), b(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.next_bool(0.4)) a.set(j);
+      if (rng.next_bool(0.4)) b.set(j);
+    }
+    BitVector o = a, x = a, d = a;
+    o |= b;
+    x ^= b;
+    d &= b;
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(o.test(j), a.test(j) || b.test(j)) << "width " << n << " bit " << j;
+      ASSERT_EQ(x.test(j), a.test(j) != b.test(j)) << "width " << n << " bit " << j;
+      ASSERT_EQ(d.test(j), a.test(j) && b.test(j)) << "width " << n << " bit " << j;
+    }
+    EXPECT_EQ(a.xor_popcount(b), x.popcount()) << "width " << n;
+    EXPECT_EQ(a.and_popcount(b), d.popcount()) << "width " << n;
+  }
+}
+
 }  // namespace
 }  // namespace symbiosis::sig

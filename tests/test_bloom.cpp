@@ -154,5 +154,91 @@ TEST(CountingBloom, ResetClears) {
   EXPECT_FALSE(cbf.maybe_contains(1));
 }
 
+// --- property / fuzz extensions -------------------------------------------
+
+TEST(CountingBloom, ThreeBitCountersSaturateAtSeven) {
+  // The paper's L = 3 hardware: the 8th insert into one counter saturates it
+  // at 7 and the stuck-at-max rule then makes every remove a no-op.
+  CountingBloomFilter cbf(16, 3, 1, HashKind::Modulo);
+  for (int i = 0; i < 12; ++i) cbf.insert(5 + 16 * i);  // all map to counter 5
+  EXPECT_EQ(cbf.counter_at(5), 7u);
+  EXPECT_EQ(cbf.saturated_count(), 1u);
+  for (int i = 0; i < 12; ++i) cbf.remove(5 + 16 * i);
+  EXPECT_EQ(cbf.counter_at(5), 7u) << "stuck at max: removes must not drain it";
+  EXPECT_TRUE(cbf.maybe_contains(5));
+  cbf.validate();
+}
+
+TEST(CountingBloom, RemoveWithoutInsertAtScaleNeverUnderflows) {
+  CountingBloomFilter cbf(512, 3, 2);
+  util::Rng rng(29);
+  // Phase 1: pure removes on an empty filter — all must be no-ops.
+  for (int i = 0; i < 5000; ++i) cbf.remove(rng.next_below(1 << 16));
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+  cbf.validate();
+  // Phase 2: adversarial interleave, removes outnumbering inserts 3:1.
+  for (int i = 0; i < 10000; ++i) {
+    const LineAddr key = rng.next_below(1 << 12);
+    if (rng.next_bool(0.25)) {
+      cbf.insert(key);
+    } else {
+      cbf.remove(key);
+    }
+  }
+  cbf.validate();  // recount matches cache, no counter above saturation
+  for (std::size_t e = 0; e < cbf.entries(); ++e) {
+    EXPECT_LE(cbf.counter_at(e), 7u) << "counter " << e;
+  }
+}
+
+TEST(CountingBloom, ModuloAcceptsAwkwardEntryCounts) {
+  // Modulo is the only hash family without the power-of-two constraint; the
+  // boundary sizes 1, 63 and 4095 must index safely end to end.
+  util::Rng rng(31);
+  for (const std::size_t entries : {1ul, 63ul, 4095ul}) {
+    CountingBloomFilter cbf(entries, 3, 2, HashKind::Modulo);
+    for (int i = 0; i < 2000; ++i) {
+      const LineAddr key = rng();
+      if (rng.next_bool(0.6)) {
+        cbf.insert(key);
+      } else {
+        cbf.remove(key);
+      }
+      const BloomIndices indices = cbf.indices_of(key);
+      ASSERT_GE(indices.count, 1u);
+      ASSERT_LE(indices.count, 2u);
+      for (unsigned j = 0; j < indices.count; ++j) {
+        ASSERT_LT(indices.idx[j], entries) << "entries " << entries;
+      }
+    }
+    cbf.validate();
+    EXPECT_LE(cbf.nonzero_count(), entries);
+  }
+}
+
+TEST(CountingBloom, PrehashedOpsMatchByLineOps) {
+  // indices_of() + the BloomIndices overloads must be interchangeable with
+  // the by-line API — the batched replay path depends on it.
+  CountingBloomFilter by_line(1024, 3, 4);
+  CountingBloomFilter prehashed(1024, 3, 4);
+  util::Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const LineAddr key = rng.next_below(1 << 14);
+    const BloomIndices indices = prehashed.indices_of(key);
+    if (rng.next_bool(0.55)) {
+      by_line.insert(key);
+      prehashed.insert(indices);
+    } else {
+      by_line.remove(key);
+      prehashed.remove(indices);
+    }
+    ASSERT_EQ(by_line.maybe_contains(key), prehashed.maybe_contains(indices)) << "op " << i;
+  }
+  ASSERT_EQ(by_line.nonzero_count(), prehashed.nonzero_count());
+  for (std::size_t e = 0; e < by_line.entries(); ++e) {
+    ASSERT_EQ(by_line.counter_at(e), prehashed.counter_at(e)) << "counter " << e;
+  }
+}
+
 }  // namespace
 }  // namespace symbiosis::sig

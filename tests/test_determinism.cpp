@@ -11,12 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "machine/machine.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
+#include "workload/benchmark_model.hpp"
 
 namespace symbiosis::core {
 namespace {
@@ -76,6 +80,103 @@ TEST(Determinism, SeedSelectsTheMixSample) {
     EXPECT_FALSE(outcome.mappings.empty());
     EXPECT_LT(outcome.chosen, outcome.mappings.size());
   }
+}
+
+// --- batched machine replay ----------------------------------------------
+
+machine::MachineConfig tiny_machine() {
+  machine::MachineConfig m;
+  m.hierarchy.num_cores = 2;
+  m.hierarchy.l1 = {1024, 2, 64};
+  m.hierarchy.l2 = {16 * 1024, 4, 64};
+  m.quantum_cycles = 50'000;
+  return m;
+}
+
+std::unique_ptr<workload::Workload> tiny_task(const std::string& name, std::size_t pid) {
+  workload::BenchmarkSpec spec;
+  spec.name = name;
+  workload::PhaseSpec phase;
+  phase.pattern.kind = workload::PatternKind::Zipf;
+  phase.pattern.region_bytes = 8 * 1024;
+  phase.compute_gap = 5.0;
+  phase.refs = 20'000;
+  spec.phases = {phase};
+  spec.total_refs = 20'000;
+  return std::make_unique<workload::Workload>(spec, machine::address_space_base(pid),
+                                              util::Rng{pid + 1});
+}
+
+void expect_machines_identical(machine::Machine& a, machine::Machine& b) {
+  ASSERT_EQ(a.task_count(), b.task_count());
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.stats().context_switches, b.stats().context_switches);
+  EXPECT_EQ(a.stats().steps, b.stats().steps);
+  for (machine::TaskId id = 0; id < a.task_count(); ++id) {
+    const machine::Task& ta = a.task(id);
+    const machine::Task& tb = b.task(id);
+    EXPECT_EQ(ta.counters().instructions, tb.counters().instructions) << "task " << id;
+    EXPECT_EQ(ta.counters().memory_refs, tb.counters().memory_refs) << "task " << id;
+    EXPECT_EQ(ta.counters().l1_misses, tb.counters().l1_misses) << "task " << id;
+    EXPECT_EQ(ta.counters().l2_misses, tb.counters().l2_misses) << "task " << id;
+    EXPECT_EQ(ta.counters().tlb_misses, tb.counters().tlb_misses) << "task " << id;
+    EXPECT_EQ(ta.counters().context_switches, tb.counters().context_switches) << "task " << id;
+    EXPECT_EQ(ta.total_user_cycles, tb.total_user_cycles) << "task " << id;
+    EXPECT_EQ(ta.completed_runs, tb.completed_runs) << "task " << id;
+  }
+  const auto& ha = a.hierarchy().l2().stats();
+  const auto& hb = b.hierarchy().l2().stats();
+  EXPECT_EQ(ha.accesses, hb.accesses);
+  EXPECT_EQ(ha.misses, hb.misses);
+  EXPECT_EQ(ha.evictions, hb.evictions);
+}
+
+TEST(Determinism, RunBatchMatchesRunFor) {
+  // Driving the machine batch-by-batch must be bit-identical to one
+  // run_for() over the same simulated span: same clocks, same per-task
+  // counters, same shared-L2 history.
+  machine::Machine a(tiny_machine());
+  machine::Machine b(tiny_machine());
+  for (std::size_t pid = 0; pid < 3; ++pid) {
+    a.add_task(tiny_task("t" + std::to_string(pid), pid));
+    b.add_task(tiny_task("t" + std::to_string(pid), pid));
+  }
+
+  const std::uint64_t span = 2'000'000;
+  a.run_for(span);
+
+  const std::uint64_t deadline = b.now() + span;
+  while (b.now() < deadline) {
+    if (b.run_batch(1) == 0) break;
+  }
+  expect_machines_identical(a, b);
+}
+
+TEST(Determinism, RunBatchGranularityIsIrrelevant) {
+  // 1-batch steps and 64-batch strides must land on the same state.
+  machine::Machine a(tiny_machine());
+  machine::Machine b(tiny_machine());
+  a.add_task(tiny_task("x", 0));
+  a.add_task(tiny_task("y", 1));
+  b.add_task(tiny_task("x", 0));
+  b.add_task(tiny_task("y", 1));
+
+  std::uint64_t ran_a = 0, ran_b = 0;
+  for (int i = 0; i < 640; ++i) ran_a += a.run_batch(1);
+  for (int i = 0; i < 10; ++i) ran_b += b.run_batch(64);
+  ASSERT_EQ(ran_a, 640u);
+  ASSERT_EQ(ran_b, 640u);
+  expect_machines_identical(a, b);
+}
+
+TEST(Determinism, RunBatchReportsExecutedCount) {
+  machine::Machine m(tiny_machine());
+  m.add_task(tiny_task("solo", 0));
+  EXPECT_EQ(m.run_batch(5), 5u);
+  EXPECT_GT(m.now(), 0u);
+  // A machine with no work executes zero batches.
+  machine::Machine idle(tiny_machine());
+  EXPECT_EQ(idle.run_batch(5), 0u);
 }
 
 // --- summarize_improvements property tests --------------------------------

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace symbiosis::cachesim {
 namespace {
 
@@ -135,6 +137,78 @@ TEST(Hierarchy, ResetRestoresCold) {
   h.reset();
   EXPECT_EQ(h.l2_footprint(0), 0u);
   EXPECT_FALSE(h.access(0, 0, false).l1_hit);
+}
+
+TEST(Hierarchy, ResetStatsClearsAllCountersButKeepsTags) {
+  Hierarchy h(tiny_config());
+  for (int i = 0; i < 64; ++i) h.access(i % 2, static_cast<Addr>(i) * 2048, i % 3 == 0);
+  ASSERT_GT(h.l2().stats().accesses, 0u);
+  ASSERT_GT(h.l2().stats_for(1).accesses, 0u);
+
+  h.reset_stats();
+
+  // Every counter is back to zero: totals, per-requestor, TLB.
+  EXPECT_EQ(h.l2().stats().accesses, 0u);
+  EXPECT_EQ(h.l2().stats().misses, 0u);
+  EXPECT_EQ(h.l2().stats().evictions, 0u);
+  for (std::size_t core = 0; core < 2; ++core) {
+    EXPECT_EQ(h.l1(core).stats().accesses, 0u);
+    EXPECT_EQ(h.l2().stats_for(core).accesses, 0u);
+    EXPECT_EQ(h.l2().stats_for(core).misses, 0u);
+    EXPECT_EQ(h.l2().stats_for(core).evictions, 0u);
+    EXPECT_EQ(h.tlb(core).hits(), 0u);
+    EXPECT_EQ(h.tlb(core).misses(), 0u);
+  }
+
+  // Tag arrays are untouched: the most recently filled line still hits, and
+  // the footprint survives — reset_stats() only discards counters.
+  EXPECT_GT(h.l2_footprint(0) + h.l2_footprint(1), 0u);
+  const auto warm = h.access(1, 63 * 2048, false);
+  EXPECT_TRUE(warm.l1_hit || warm.l2_hit);
+}
+
+TEST(Hierarchy, ResetStatsMidRunKeepsPublishedMetricsMonotone) {
+  // Regression: resetting the caches' counters without re-baselining the obs
+  // delta publisher made the next publish compute (small now - large
+  // published) on unsigned values — a huge wraparound jump in the global
+  // metric. reset_stats() must move both together.
+  Hierarchy h(tiny_config());
+  obs::Counter& l2_miss = obs::counter("cachesim.l2.miss");
+  obs::Counter& l1_hit = obs::counter("cachesim.l1.hit");
+
+  for (int i = 0; i < 200; ++i) h.access(0, static_cast<Addr>(i) * 4096, false);
+  h.publish_metrics();
+  const std::uint64_t miss_before = l2_miss.value();
+  const std::uint64_t hit_before = l1_hit.value();
+
+  h.reset_stats();  // mid-run: discard the warm-up counters
+
+  for (int i = 0; i < 10; ++i) h.access(0, static_cast<Addr>(i) * 4096, false);
+  h.publish_metrics();
+
+  // The published deltas cover exactly the 10 post-reset accesses: monotone,
+  // and bounded by the new traffic — not a wrapped-around 2^64-ish jump.
+  EXPECT_GE(l2_miss.value(), miss_before);
+  EXPECT_LE(l2_miss.value() - miss_before, 10u);
+  EXPECT_GE(l1_hit.value(), hit_before);
+  EXPECT_LE(l1_hit.value() - hit_before, 10u);
+
+  // Another reset + publish with NO traffic in between publishes zero delta.
+  h.reset_stats();
+  const std::uint64_t miss_mark = l2_miss.value();
+  h.publish_metrics();
+  EXPECT_EQ(l2_miss.value(), miss_mark);
+}
+
+TEST(Hierarchy, FullResetAlsoRebaselinesPublisher) {
+  Hierarchy h(tiny_config());
+  obs::Counter& l2_miss = obs::counter("cachesim.l2.miss");
+  for (int i = 0; i < 100; ++i) h.access(1, static_cast<Addr>(i) * 4096, false);
+  h.publish_metrics();
+  const std::uint64_t before = l2_miss.value();
+  h.reset();  // cold caches AND counters
+  h.publish_metrics();
+  EXPECT_EQ(l2_miss.value(), before) << "reset() left a stale publish baseline";
 }
 
 TEST(Hierarchy, Validation) {
