@@ -1,0 +1,5 @@
+#include "obs/metrics.hpp"
+#include "util/base.hpp"
+namespace fixture::obs {
+int metric() { return 2; }
+}  // namespace fixture::obs

@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture::obs {
+int metric();
+}  // namespace fixture::obs

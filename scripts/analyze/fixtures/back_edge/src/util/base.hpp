@@ -1,0 +1,5 @@
+#pragma once
+#include "obs/metrics.hpp"
+namespace fixture::util {
+inline int base() { return fixture::obs::metric(); }
+}  // namespace fixture::util

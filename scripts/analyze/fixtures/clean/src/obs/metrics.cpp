@@ -1,0 +1,4 @@
+#include "obs/metrics.hpp"
+namespace fixture::obs {
+int metric() { return fixture::util::base(); }
+}  // namespace fixture::obs

@@ -1,0 +1,5 @@
+#pragma once
+#include "util/base.hpp"
+namespace fixture::obs {
+int metric();
+}  // namespace fixture::obs

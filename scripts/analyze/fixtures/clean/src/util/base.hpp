@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture::util {
+inline int base() { return 1; }
+}  // namespace fixture::util

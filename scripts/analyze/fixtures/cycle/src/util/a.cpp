@@ -1,0 +1,2 @@
+#include "util/x.hpp"
+int fixture_a() { return 0; }

@@ -1,0 +1,2 @@
+#include "util/impl.cpp"
+int fixture_a() { return fixture_impl(); }

@@ -1,0 +1,1 @@
+int fixture_impl() { return 3; }

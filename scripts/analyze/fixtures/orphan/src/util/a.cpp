@@ -1,0 +1,2 @@
+#include "util/used.hpp"
+int fixture_a() { return fixture::util::used(); }

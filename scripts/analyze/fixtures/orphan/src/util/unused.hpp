@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture::util {
+inline int unused() { return 5; }
+}  // namespace fixture::util

@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture::util {
+inline int used() { return 4; }
+}  // namespace fixture::util

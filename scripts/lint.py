@@ -13,6 +13,13 @@ Rules (see README "Correctness tooling"):
                        `using namespace` in a header pollutes every includer.
   pragma-once          every header must open with #pragma once (include
                        guards are not used in this repo).
+  raw-mutex            a mutex member in src/ must guard something: the file
+                       must annotate at least one field with
+                       SYM_GUARDED_BY(<that mutex>) (util/thread_annotations.hpp),
+                       or the declaration line must carry an explicit
+                       `// symlint: unguarded` waiver saying why not.
+                       Prefer util::Mutex over std::mutex -- std::mutex is
+                       invisible to clang's thread-safety analysis.
 
 Exit status: 0 when clean, 1 when any rule fires.
 """
@@ -30,17 +37,38 @@ RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
 STATIC_ASSERT = re.compile(r"static_assert\s*\(")
 RAW_RAND = re.compile(r"(?<![\w:.])s?rand\s*\(")
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
-LINE_COMMENT = re.compile(r"//.*$")
+# Mutex member/variable declarations: `std::mutex m_;`, `util::Mutex m_;`,
+# `Mutex m_;` (optionally `mutable`). References/pointers deliberately do not
+# match -- only the owning declaration needs the annotation.
+MUTEX_DECL = re.compile(r"\b(?:std::mutex|(?:util::)?Mutex)\s+(\w+)\s*;")
+UNGUARDED_WAIVER = re.compile(r"//\s*symlint:\s*unguarded")
 
 
-def strip_strings_and_comments(line: str) -> str:
-    """Remove string/char literal contents and // comments (crude but
-    sufficient: no rule needs to look inside literals)."""
-    out = []
-    quote = None
+def strip_strings_and_comments(line: str, in_block_comment: bool = False) -> tuple[str, bool]:
+    """Remove string/char literal contents, // line comments and /* */ block
+    comments from one line of C++.
+
+    Returns (code, in_block_comment'): the stripped code and whether a block
+    comment is still open after this line -- feed that back in for the next
+    line. Stripped comments are replaced by a single space (like the
+    preprocessor) so adjacent tokens do not fuse. Comment markers inside
+    string literals are literal text, not comments; quotes inside comments do
+    not open strings.
+    """
+    out: list[str] = []
+    quote: str | None = None
     i = 0
-    while i < len(line):
+    n = len(line)
+    while i < n:
         ch = line[i]
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            out.append(" ")
+            i = end + 2
+            in_block_comment = False
+            continue
         if quote:
             if ch == "\\":
                 i += 2
@@ -57,9 +85,13 @@ def strip_strings_and_comments(line: str) -> str:
             continue
         if line.startswith("//", i):
             break
+        if line.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
         out.append(ch)
         i += 1
-    return "".join(out)
+    return "".join(out), in_block_comment
 
 
 def check_file(path: Path) -> list[str]:
@@ -73,28 +105,12 @@ def check_file(path: Path) -> list[str]:
     in_block_comment = False
     saw_pragma_once = False
     first_code_line = None
+    mutex_decls: list[tuple[int, str, bool]] = []  # (lineno, name, waived)
+    code_lines: list[str] = []
 
     for lineno, raw in enumerate(lines, start=1):
-        line = raw
-        # Track /* ... */ block comments line-by-line.
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block_comment = True
-                break
-            line = line[:start] + line[end + 2:]
-
-        code = strip_strings_and_comments(line)
+        code, in_block_comment = strip_strings_and_comments(raw, in_block_comment)
+        code_lines.append(code)
         stripped = code.strip()
 
         if stripped == "#pragma once":
@@ -114,9 +130,24 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{path}:{lineno}: `using namespace` in a header leaks into every includer"
             )
+        for match in MUTEX_DECL.finditer(code):
+            mutex_decls.append((lineno, match.group(1), bool(UNGUARDED_WAIVER.search(raw))))
 
     if path.suffix in HEADER_SUFFIXES and not saw_pragma_once:
         problems.append(f"{path}:1: header missing #pragma once")
+
+    # raw-mutex: enforced under src/ only (tests may build ad-hoc sync objects).
+    if "src" in path.parts and mutex_decls:
+        all_code = "\n".join(code_lines)
+        for lineno, name, waived in mutex_decls:
+            if waived:
+                continue
+            if not re.search(rf"SYM_GUARDED_BY\(\s*{re.escape(name)}\s*\)", all_code):
+                problems.append(
+                    f"{path}:{lineno}: mutex '{name}' guards no SYM_GUARDED_BY field — "
+                    "annotate the protected state (util/thread_annotations.hpp) or add "
+                    "`// symlint: unguarded` with a reason"
+                )
 
     return problems
 

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# run_tidy.sh — run clang-tidy (config: .clang-tidy) over the src/ tree.
+# run_tidy.sh — run clang-tidy (config: .clang-tidy) over the C++ trees.
 #
 # Usage: scripts/run_tidy.sh [--strict] [paths...]
 #
 #   --strict   fail (exit 2) when clang-tidy is not installed instead of
 #              skipping; CI passes this so the gate cannot silently vanish.
-#   paths      files or directories to lint (default: src/)
+#   paths      files or directories to lint (default: src tests bench examples)
 #
 # Builds the `tidy` preset's compile_commands.json on demand, then runs
 # clang-tidy with warnings-as-errors (set in .clang-tidy) so any finding is a
@@ -24,7 +24,7 @@ for arg in "$@"; do
   esac
 done
 if [[ ${#paths[@]} -eq 0 ]]; then
-  paths=(src)
+  paths=(src tests bench examples)
 fi
 
 # Find clang-tidy: plain name first, then versioned fallbacks (newest first).

@@ -64,7 +64,7 @@ MetricRegistry& MetricRegistry::global() {
 MetricRegistry::Entry& MetricRegistry::find_or_create(std::string_view name, MetricKind kind) {
   SYM_CHECK(valid_metric_name(name), "obs.metrics")
       << "malformed metric name '" << name << "' (want dot-scoped [a-z0-9_] segments)";
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
     SYM_CHECK(it->second.kind == kind, "obs.metrics")
@@ -95,7 +95,7 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
 }
 
 std::vector<MetricSample> MetricRegistry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -119,7 +119,7 @@ std::vector<MetricSample> MetricRegistry::snapshot() const {
 }
 
 void MetricRegistry::reset_values() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case MetricKind::Counter: entry.counter->reset(); break;
@@ -130,7 +130,7 @@ void MetricRegistry::reset_values() {
 }
 
 std::size_t MetricRegistry::size() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 

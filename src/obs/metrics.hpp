@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace symbiosis::obs {
 
@@ -142,10 +144,12 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& find_or_create(std::string_view name, MetricKind kind);
+  Entry& find_or_create(std::string_view name, MetricKind kind) SYM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable util::Mutex mutex_;
+  // Node-based map + unique_ptr values is what makes the "references stay
+  // valid forever" contract hold; the mutex guards only the name index.
+  std::map<std::string, Entry, std::less<>> entries_ SYM_GUARDED_BY(mutex_);
 };
 
 // --- convenience accessors on the global registry ---

@@ -27,14 +27,14 @@ FlightRecorder& FlightRecorder::global() {
 
 void FlightRecorder::set_capacity(std::size_t capacity) {
   SYM_CHECK(capacity >= 1, "obs.recorder") << "ring capacity must be >= 1";
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   capacity_ = capacity;
   ring_.clear();
   ring_.shrink_to_fit();
 }
 
 void FlightRecorder::record(Event event) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   RecordedEvent slot{next_seq_++, std::move(event)};
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(slot));
@@ -44,7 +44,7 @@ void FlightRecorder::record(Event event) {
 }
 
 std::vector<RecordedEvent> FlightRecorder::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<RecordedEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -59,17 +59,17 @@ std::vector<RecordedEvent> FlightRecorder::snapshot() const {
 }
 
 std::uint64_t FlightRecorder::recorded_total() const noexcept {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return next_seq_;
 }
 
 std::uint64_t FlightRecorder::dropped_total() const noexcept {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return next_seq_ - ring_.size();
 }
 
 void FlightRecorder::clear() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   ring_.clear();
   next_seq_ = 0;
 }

@@ -18,10 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace symbiosis::obs {
 
@@ -121,10 +123,11 @@ class FlightRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<RecordedEvent> ring_;  // capacity-bounded, ring_[seq % capacity]
-  std::size_t capacity_ = kDefaultCapacity;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mutex_;
+  // capacity-bounded, ring_[seq % capacity]
+  std::vector<RecordedEvent> ring_ SYM_GUARDED_BY(mutex_);
+  std::size_t capacity_ SYM_GUARDED_BY(mutex_) = kDefaultCapacity;
+  std::uint64_t next_seq_ SYM_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII enable/disable of the global recorder (tests and trace tooling).

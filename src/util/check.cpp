@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace symbiosis::util {
 
@@ -18,8 +19,8 @@ std::atomic<CheckMode> g_check_mode{CheckMode::Abort};
 /// is uncontended in healthy runs); the total is a lock-free atomic so
 /// check_violation_total() stays noexcept.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::uint64_t, std::less<>> counts;
+  Mutex mutex;
+  std::map<std::string, std::uint64_t, std::less<>> counts SYM_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> total{0};
 };
 
@@ -31,7 +32,7 @@ Registry& registry() {
 void record_violation(const char* category) {
   Registry& reg = registry();
   {
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     auto it = reg.counts.find(std::string_view{category});
     if (it == reg.counts.end()) {
       reg.counts.emplace(category, 1);
@@ -52,7 +53,7 @@ CheckMode set_check_mode(CheckMode mode) noexcept {
 
 std::uint64_t check_violation_count(std::string_view category) {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   const auto it = reg.counts.find(category);
   return it == reg.counts.end() ? 0 : it->second;
 }
@@ -63,13 +64,13 @@ std::uint64_t check_violation_total() noexcept {
 
 std::vector<std::pair<std::string, std::uint64_t>> check_violation_snapshot() {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   return {reg.counts.begin(), reg.counts.end()};
 }
 
 void reset_check_violations() {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   reg.counts.clear();
   reg.total.store(0, std::memory_order_relaxed);
 }

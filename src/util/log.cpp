@@ -5,11 +5,19 @@
 #include <cstdarg>
 #include <cstdlib>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace symbiosis::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-std::atomic<std::FILE*> g_stream{nullptr};  // nullptr = stderr
+// The stream pointer and the emitted bytes share one mutex: holding it for
+// the whole prefix+body+newline sequence keeps concurrent log lines from
+// interleaving mid-line (the level check stays lock-free, so disabled
+// messages never touch the mutex).
+Mutex g_stream_mutex;
+std::FILE* g_stream SYM_GUARDED_BY(g_stream_mutex) = nullptr;  // nullptr = stderr
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -46,18 +54,23 @@ LogLevel init_log_from_env() noexcept {
   return log_level();
 }
 
-void set_log_stream(std::FILE* stream) noexcept { g_stream.store(stream); }
+void set_log_stream(std::FILE* stream) noexcept {
+  const MutexLock lock(g_stream_mutex);
+  g_stream = stream;
+}
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::FILE* out = g_stream.load(std::memory_order_relaxed);
-  if (!out) out = stderr;
-  std::fprintf(out, "[%s] ", level_name(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(out, fmt, args);
+  {
+    const MutexLock lock(g_stream_mutex);
+    std::FILE* out = g_stream ? g_stream : stderr;
+    std::fprintf(out, "[%s] ", level_name(level));
+    std::vfprintf(out, fmt, args);
+    std::fputc('\n', out);
+  }
   va_end(args);
-  std::fputc('\n', out);
 }
 
 }  // namespace symbiosis::util

@@ -30,7 +30,9 @@ LogLevel init_log_from_env() noexcept;
 void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 /// Redirect log output to @p stream (nullptr restores stderr). For tests
-/// that assert on level filtering; not thread-safe vs concurrent logging.
+/// that assert on level filtering. Thread-safe: the stream pointer and each
+/// emitted line share one mutex, so a concurrent log_message either fully
+/// precedes or fully follows the switch (and log lines never interleave).
 void set_log_stream(std::FILE* stream) noexcept;
 
 #define SYMBIOSIS_LOG_TRACE(...) ::symbiosis::util::log_message(::symbiosis::util::LogLevel::Trace, __VA_ARGS__)

@@ -1,0 +1,66 @@
+// mutex.hpp — annotated mutex capability for clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::scoped_lock carry no thread-safety
+// attributes, so `-Wthread-safety` cannot track them. util::Mutex wraps
+// std::mutex as a SYM_CAPABILITY and util::MutexLock replaces
+// std::scoped_lock as the SYM_SCOPED_CAPABILITY guard; together they let
+// SYM_GUARDED_BY members be machine-checked (see util/thread_annotations.hpp
+// and DESIGN.md §11). Zero runtime cost over the std types they wrap.
+//
+// Repo rule (scripts/lint.py `raw-mutex`): every mutex member in src/ must
+// guard at least one SYM_GUARDED_BY field, or carry an explicit
+// `// symlint: unguarded` waiver.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace symbiosis::util {
+
+/// std::mutex as a clang TSA capability. Same semantics, same cost.
+class SYM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SYM_ACQUIRE() { m_.lock(); }
+  void unlock() SYM_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() SYM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Annotation-only assertion that the calling thread holds this mutex.
+  /// Needed inside condition-variable wait predicates: the predicate runs
+  /// under the wait lock, but the analysis cannot see through
+  /// std::condition_variable_any::wait to know that.
+  void assert_held() const SYM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex m_;  // symlint: unguarded — this IS the annotated capability
+};
+
+/// RAII lock for util::Mutex (drop-in for std::scoped_lock on one mutex).
+/// Also BasicLockable, so std::condition_variable_any can release and
+/// reacquire the mutex during a wait:
+///
+///   MutexLock lock(mutex_);
+///   cv_.wait(lock, [this] { mutex_.assert_held(); return ready_; });
+///
+/// lock()/unlock() exist for that protocol only; every manual unlock() must
+/// be balanced by a lock() before scope exit (the destructor unlocks).
+class SYM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SYM_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() SYM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() SYM_ACQUIRE() { mutex_.lock(); }
+  void unlock() SYM_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace symbiosis::util

@@ -1,0 +1,74 @@
+// thread_annotations.hpp — clang Thread Safety Analysis attribute macros.
+//
+// SYM_GUARDED_BY / SYM_REQUIRES / SYM_ACQUIRE / SYM_EXCLUDES and friends wrap
+// clang's thread-safety attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+// so that "which mutex protects this member" is machine-checked at compile
+// time instead of living in comments. The macros expand to nothing on GCC and
+// other compilers; the `thread-safety` CMake preset builds with clang and
+// `-Wthread-safety -Wthread-safety-beta -Werror`, which is how CI enforces
+// them (the `analyze` job).
+//
+// The annotated capability type these macros are designed around is
+// util::Mutex (util/mutex.hpp) — libstdc++'s std::mutex carries no capability
+// attribute, so the analysis cannot see through it. Annotate like so:
+//
+//   class Sharded {
+//     util::Mutex mutex_;
+//     std::vector<int> items_ SYM_GUARDED_BY(mutex_);
+//     void rebalance() SYM_REQUIRES(mutex_);
+//   };
+//
+// TSan (the `tsan` preset) remains the dynamic complement: the analysis here
+// is compile-time, schedule-independent, and catches gaps TSan only finds
+// when a test happens to race.
+#pragma once
+
+#if defined(__clang__) && !defined(SYMBIOSIS_NO_THREAD_ANNOTATIONS)
+#define SYM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SYM_THREAD_ANNOTATION_(x)  // no-op on GCC / MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the capability kind
+/// shown in diagnostics).
+#define SYM_CAPABILITY(x) SYM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define SYM_SCOPED_CAPABILITY SYM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be read/written while holding the given mutex.
+#define SYM_GUARDED_BY(x) SYM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the given mutex.
+#define SYM_PT_GUARDED_BY(x) SYM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the mutex(es).
+#define SYM_REQUIRES(...) SYM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SYM_REQUIRES_SHARED(...) SYM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and holds them on return.
+#define SYM_ACQUIRE(...) SYM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SYM_ACQUIRE_SHARED(...) SYM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) the caller holds.
+#define SYM_RELEASE(...) SYM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SYM_RELEASE_SHARED(...) SYM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define SYM_TRY_ACQUIRE(...) SYM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the mutex(es) (deadlock guard
+/// for self-locking public entry points).
+#define SYM_EXCLUDES(...) SYM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime-asserted "the caller holds this" escape hatch for control flow the
+/// analysis cannot follow (condition-variable predicates, callbacks).
+#define SYM_ASSERT_CAPABILITY(x) SYM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the mutex guarding its return value.
+#define SYM_RETURN_CAPABILITY(x) SYM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Last resort: disable the analysis for one function (document why at the
+/// use site).
+#define SYM_NO_THREAD_SAFETY_ANALYSIS SYM_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -9,12 +9,13 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace symbiosis::util {
 
@@ -41,7 +42,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto fut = task->get_future();
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       SYM_CHECK(!stopping_, "util.threadpool") << "submit() on a stopping ThreadPool";
       queue_.emplace([task] { (*task)(); });
     }
@@ -66,11 +67,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ SYM_GUARDED_BY(mutex_);
+  // condition_variable_any, not condition_variable: waits take the annotated
+  // MutexLock, which std::condition_variable's unique_lock<std::mutex>-only
+  // interface cannot.
+  std::condition_variable_any cv_;
+  bool stopping_ SYM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace symbiosis::util

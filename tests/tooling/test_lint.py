@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/lint.py (registered with CTest as tooling.lint).
+
+Covers the comment/string stripper's multi-line block-comment state (the
+historical false-positive source), each ban rule, and the raw-mutex rule's
+annotation/waiver handling.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_lint():
+    spec = importlib.util.spec_from_file_location("lint", REPO_ROOT / "scripts" / "lint.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+lint = load_lint()
+
+
+class StripStringsAndComments(unittest.TestCase):
+    def strip(self, line, in_block=False):
+        return lint.strip_strings_and_comments(line, in_block)
+
+    def test_plain_code_unchanged(self):
+        self.assertEqual(self.strip("int x = 1;"), ("int x = 1;", False))
+
+    def test_line_comment_stripped(self):
+        self.assertEqual(self.strip("int x; // assert(1)"), ("int x; ", False))
+
+    def test_single_line_block_comment_stripped(self):
+        code, in_block = self.strip("int x; /* assert(1) */ int y;")
+        self.assertFalse(in_block)
+        self.assertNotIn("assert", code)
+        self.assertIn("int x;", code)
+        self.assertIn("int y;", code)
+
+    def test_block_comment_replaced_by_space_no_token_fusion(self):
+        code, _ = self.strip("a/*x*/b")
+        self.assertEqual(code, "a b")
+
+    def test_block_comment_opens_across_lines(self):
+        code, in_block = self.strip("int x; /* banned: assert(1)")
+        self.assertTrue(in_block)
+        self.assertNotIn("assert", code)
+
+    def test_block_comment_closes_on_later_line(self):
+        code, in_block = self.strip("still commented assert(1) */ int y;", in_block=True)
+        self.assertFalse(in_block)
+        self.assertNotIn("assert", code)
+        self.assertIn("int y;", code)
+
+    def test_block_comment_spanning_full_middle_line(self):
+        code, in_block = self.strip("assert(rand());", in_block=True)
+        self.assertTrue(in_block)
+        self.assertEqual(code, "")
+
+    def test_comment_marker_inside_string_is_literal(self):
+        code, in_block = self.strip('const char* s = "/*"; assert(1);')
+        self.assertFalse(in_block)  # the "/*" is string content, not a comment
+        self.assertIn("assert", code)
+
+    def test_quote_inside_block_comment_does_not_open_string(self):
+        code, in_block = self.strip("/* don't */ int z;")
+        self.assertFalse(in_block)
+        self.assertIn("int z;", code)
+
+    def test_line_comment_containing_block_open_is_just_a_comment(self):
+        code, in_block = self.strip("int x; // note: /* not a block")
+        self.assertFalse(in_block)
+        self.assertEqual(code, "int x; ")
+
+    def test_string_contents_removed(self):
+        code, _ = self.strip('call("assert(1)");')
+        self.assertNotIn("assert", code)
+
+
+class CheckFileRules(unittest.TestCase):
+    def check(self, relpath: str, text: str) -> list[str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            return lint.check_file(path)
+
+    def test_raw_assert_flagged(self):
+        problems = self.check("src/a.cpp", "void f() { assert(1); }\n")
+        self.assertTrue(any("raw assert" in p for p in problems))
+
+    def test_static_assert_ok(self):
+        self.assertEqual(self.check("src/a.cpp", "static_assert(sizeof(int) == 4);\n"), [])
+
+    def test_banned_token_inside_multiline_block_comment_ignored(self):
+        text = "/* historical notes:\n   assert(x) was used here\n   rand() too */\nint x;\n"
+        self.assertEqual(self.check("src/a.cpp", text), [])
+
+    def test_banned_token_after_block_comment_close_flagged(self):
+        text = "/* comment\nstill comment */ void f() { assert(1); }\n"
+        problems = self.check("src/a.cpp", text)
+        self.assertTrue(any("raw assert" in p and ":2:" in p for p in problems))
+
+    def test_rand_flagged_outside_comment_only(self):
+        text = "// rand() is banned\nint x = rand();\n"
+        problems = self.check("src/a.cpp", text)
+        self.assertEqual(len([p for p in problems if "rand" in p]), 1)
+
+    def test_pragma_once_inside_block_comment_does_not_count(self):
+        text = "/*\n#pragma once\n*/\nint x;\n"
+        problems = self.check("src/a.hpp", text)
+        self.assertTrue(any("missing #pragma once" in p for p in problems))
+
+    def test_using_namespace_in_header_flagged(self):
+        text = "#pragma once\nusing namespace std;\n"
+        problems = self.check("src/a.hpp", text)
+        self.assertTrue(any("using namespace" in p for p in problems))
+
+
+class RawMutexRule(unittest.TestCase):
+    def check(self, relpath: str, text: str) -> list[str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            return lint.check_file(path)
+
+    HEADER = "#pragma once\n"
+
+    def test_unguarded_std_mutex_flagged(self):
+        text = self.HEADER + "class C {\n  std::mutex mutex_;\n  int x_ = 0;\n};\n"
+        problems = self.check("src/util/c.hpp", text)
+        self.assertTrue(any("guards no SYM_GUARDED_BY" in p for p in problems))
+
+    def test_unguarded_util_mutex_flagged(self):
+        text = self.HEADER + "class C {\n  util::Mutex mutex_;\n};\n"
+        problems = self.check("src/util/c.hpp", text)
+        self.assertTrue(any("mutex 'mutex_'" in p for p in problems))
+
+    def test_guarded_mutex_ok(self):
+        text = self.HEADER + (
+            "class C {\n  util::Mutex mutex_;\n"
+            "  int x_ SYM_GUARDED_BY(mutex_) = 0;\n};\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text), [])
+
+    def test_mutable_mutex_matches(self):
+        text = self.HEADER + "class C {\n  mutable std::mutex m_;\n};\n"
+        problems = self.check("src/util/c.hpp", text)
+        self.assertTrue(any("mutex 'm_'" in p for p in problems))
+
+    def test_waiver_accepted(self):
+        text = self.HEADER + (
+            "class C {\n  std::mutex m_;  // symlint: unguarded — capability wrapper\n};\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text), [])
+
+    def test_rule_scoped_to_src(self):
+        text = self.HEADER + "class C {\n  std::mutex m_;\n};\n"
+        self.assertEqual(self.check("tests/helper.hpp", text), [])
+
+    def test_mutexlock_and_references_do_not_match(self):
+        text = self.HEADER + (
+            "class C {\n  util::Mutex& ref_;\n"
+            "  void f() { const util::MutexLock lock(ref_); }\n};\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text), [])
+
+
+class WholeRepo(unittest.TestCase):
+    def test_repo_trees_are_clean(self):
+        import subprocess
+
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint.py"),
+             "src", "tests", "bench", "examples"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
