@@ -1,0 +1,41 @@
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#include "util/determinism.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+namespace fixture {
+
+// Seed arrives through a parameter: fine.
+int run(std::uint64_t seed, util::ThreadPool& pool) {
+  util::Rng rng(seed);
+  std::vector<int> out(8, 0);
+  // Per-shard split is the sanctioned pattern for pool tasks.
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    util::Rng local = rng.split(i);
+    out[i] = static_cast<int>(local.next_below(10));
+  });
+
+  std::unordered_set<std::uint64_t> pages;
+  for (const auto v : out) pages.insert(static_cast<std::uint64_t>(v));
+
+  // Non-escaping unordered traversal: every write stays inside the body.
+  for (const auto page : pages) {
+    std::uint64_t scratch = page * 2;
+    (void)scratch;
+  }
+
+  // Escaping but annotated: integer sum is commutative.
+  std::uint64_t total = 0;
+  SYM_ORDER_INSENSITIVE("integer sum over distinct pages is commutative");
+  for (const auto page : pages) total += page;
+
+  // Ordered map traversal is always fine.
+  std::map<int, int> hist;
+  int acc = 0;
+  for (const auto& [k, v] : hist) acc += k * v;
+  return static_cast<int>(total) + acc;
+}
+
+}  // namespace fixture

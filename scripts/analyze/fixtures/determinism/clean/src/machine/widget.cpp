@@ -1,0 +1,4 @@
+#include "machine/widget.hpp"
+namespace fixture {
+Widget::Widget(std::uint64_t seed) : rng_(seed) {}
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#pragma once
+#include "util/rng.hpp"
+namespace fixture {
+// Member Rng without initializer: OK because the .cpp seeds it in the
+// mem-init list (cross-file member-init resolution).
+class Widget {
+ public:
+  explicit Widget(std::uint64_t seed);
+ private:
+  util::Rng rng_;
+};
+}  // namespace fixture

@@ -1,0 +1,3 @@
+namespace fixture {
+int active() { return 1; }
+}  // namespace fixture

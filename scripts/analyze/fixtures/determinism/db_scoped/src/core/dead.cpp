@@ -1,0 +1,4 @@
+#include <cstdlib>
+namespace fixture {
+int dead() { return std::rand(); }
+}  // namespace fixture

@@ -1,0 +1,19 @@
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+namespace fixture {
+int ambient() {
+  int a = std::rand();
+  std::random_device rd;
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  auto t = time(nullptr);
+  const char* env = std::getenv("FIXTURE_SEED");
+  std::mt19937_64 engine(rd());
+  std::hash<void*> ptr_hash;
+  return a + static_cast<int>(t) + (env != nullptr) +
+         static_cast<int>(engine()) + static_cast<int>(ptr_hash(&a));
+}
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#include <unordered_map>
+#include <vector>
+namespace fixture {
+std::vector<int> leak_order(const std::unordered_map<int, int>& weights) {
+  std::vector<int> report;
+  for (const auto& [node, weight] : weights) {
+    report.push_back(node * weight);  // report order = hash order: leak
+  }
+  double mean = 0.0;
+  for (auto it = weights.begin(); it != weights.end(); ++it) {
+    mean += static_cast<double>(it->second);  // FP sum: order-sensitive
+  }
+  (void)mean;
+  return report;
+}
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#include <algorithm>
+#include <functional>
+#include <vector>
+namespace fixture {
+struct Node { int id; };
+void order_nodes(std::vector<Node*>& nodes, std::vector<Node*>& more) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });
+  std::sort(more.begin(), more.end(), std::less<Node*>{});
+}
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#include "util/rng.hpp"
+namespace fixture {
+// Member never seeded anywhere in the module: flagged.
+class Drifter {
+  util::Rng rng_;
+};
+int draw() {
+  util::Rng rng;  // default-constructed local: flagged
+  return static_cast<int>(rng.next_below(10));
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#include "util/rng.hpp"
+namespace fixture {
+int draw() {
+  util::Rng rng(0xdeadbeef);  // hardcoded seed: flagged
+  return static_cast<int>(rng.next_below(10));
+}
+int draw_temp() {
+  return static_cast<int>(util::Rng{12345}.next_below(10));  // flagged
+}
+}  // namespace fixture

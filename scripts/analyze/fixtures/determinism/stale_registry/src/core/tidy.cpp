@@ -1,0 +1,3 @@
+namespace fixture {
+int clean() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#include <cstdlib>
+namespace fixture {
+int boot_entropy() {
+  // symdet: nondet(fixture demonstrating a sanctioned ambient read)
+  const char* env = std::getenv("FIXTURE_KNOB");
+  return env != nullptr;
+}
+}  // namespace fixture

@@ -18,6 +18,18 @@ benchmark's real_time against the baseline:
   ratio <  1 - tolerance  -> improvement, printed (consider re-baselining)
   otherwise               -> OK
 
+A baseline entry may override the global tolerance for its benchmark alone:
+
+  "BM_CountingBloomInsertRemovePrehashed/1": {
+    "real_time_ns": 9.88,
+    "tolerance": 0.25
+  }
+
+Use sparingly, for kernels whose absolute time is so small (single-digit ns)
+that CI-runner noise routinely exceeds the global band; the override is
+printed whenever it differs from --tolerance so a loosened gate stays
+visible. `update` preserves existing overrides when rewriting times.
+
 Benchmarks present in a run but absent from the baseline are informational
 ("new"); baseline entries that no run file measured are warnings, not
 failures, so the signature and cachesim suites can be gated by separate CI
@@ -29,7 +41,9 @@ Re-baseline deliberately, on a quiet machine, and commit the diff together
 with the change that moved the numbers — the same contract as
 scripts/regen_golden_report.sh for simulation semantics.
 
-Exit status: 0 when within tolerance, 1 on any regression or usage error.
+Exit status: 0 within tolerance, 1 on any regression, 2 on a usage or
+baseline-format error (missing file, entry without "real_time_ns", bad
+tolerance value) -- never a raw traceback.
 """
 
 from __future__ import annotations
@@ -43,47 +57,97 @@ from pathlib import Path
 TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+def fail_usage(message: str) -> "NoReturn":  # noqa: F821
+    print(f"bench_gate.py: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_baseline(path: Path) -> dict:
+    if not path.is_file():
+        fail_usage(f"baseline file {path} does not exist")
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        fail_usage(f"cannot read baseline {path}: {exc}")
+
+
+def baseline_entry(path: Path, name: str, entry: dict,
+                   default_tolerance: float) -> tuple[float, float]:
+    """-> (baseline ns, tolerance) for one baseline entry, exit 2 if malformed."""
+    if not isinstance(entry, dict) or "real_time_ns" not in entry:
+        fail_usage(
+            f"baseline {path}: entry '{name}' has no \"real_time_ns\" key -- "
+            "re-baseline with `scripts/bench_gate.py update` or fix the entry"
+        )
+    try:
+        base_ns = float(entry["real_time_ns"])
+    except (TypeError, ValueError):
+        fail_usage(f"baseline {path}: entry '{name}' real_time_ns is not a number")
+    tolerance = entry.get("tolerance", default_tolerance)
+    if not isinstance(tolerance, (int, float)) or not 0 < tolerance < 10:
+        fail_usage(
+            f"baseline {path}: entry '{name}' tolerance override must be a "
+            f"fraction in (0, 10), got {tolerance!r}"
+        )
+    return base_ns, float(tolerance)
+
+
 def load_run_benchmarks(paths: list[Path]) -> dict[str, float]:
     """Merge run files into {benchmark name: real_time in ns}."""
     merged: dict[str, float] = {}
     for path in paths:
-        doc = json.loads(path.read_text())
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            fail_usage(f"cannot read run file {path}: {exc}")
         for entry in doc.get("benchmarks", []):
             # Skip aggregate rows (mean/median/stddev from --benchmark_repetitions).
             if entry.get("run_type", "iteration") != "iteration":
                 continue
             unit = TIME_UNITS_NS.get(entry.get("time_unit", "ns"))
             if unit is None:
-                raise ValueError(f"{path}: unknown time_unit in {entry.get('name')}")
+                fail_usage(f"{path}: unknown time_unit in {entry.get('name')}")
             merged[entry["name"]] = float(entry["real_time"]) * unit
     return merged
 
 
 def cmd_update(baseline_path: Path, runs: dict[str, float]) -> int:
-    doc = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
-    doc["benchmarks"] = {
-        name: {"real_time_ns": round(ns, 2)} for name, ns in sorted(runs.items())
-    }
+    doc = load_baseline(baseline_path) if baseline_path.exists() else {}
+    previous = doc.get("benchmarks", {}) if isinstance(doc.get("benchmarks"), dict) else {}
+    benchmarks = {}
+    for name, ns in sorted(runs.items()):
+        entry: dict = {"real_time_ns": round(ns, 2)}
+        old = previous.get(name)
+        if isinstance(old, dict) and "tolerance" in old:
+            entry["tolerance"] = old["tolerance"]  # overrides survive re-baselining
+        benchmarks[name] = entry
+    doc["benchmarks"] = benchmarks
     baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {len(runs)} baseline entries to {baseline_path}")
     print("review the diff and commit it with the change that moved the numbers")
     return 0
 
 
-def cmd_check(baseline_path: Path, runs: dict[str, float], tolerance: float) -> int:
-    doc = json.loads(baseline_path.read_text())
+def cmd_check(baseline_path: Path, runs: dict[str, float], default_tolerance: float) -> int:
+    doc = load_baseline(baseline_path)
+    baseline_doc = doc.get("benchmarks", {})
+    if not isinstance(baseline_doc, dict):
+        fail_usage(f'baseline {baseline_path}: "benchmarks" must be an object')
     baseline = {
-        name: entry["real_time_ns"] for name, entry in doc.get("benchmarks", {}).items()
+        name: baseline_entry(baseline_path, name, entry, default_tolerance)
+        for name, entry in baseline_doc.items()
     }
 
     regressions: list[str] = []
     for name, measured_ns in sorted(runs.items()):
-        base_ns = baseline.get(name)
-        if base_ns is None:
+        if name not in baseline:
             print(f"  new        {name}: {measured_ns:.1f} ns (not in baseline)")
             continue
+        base_ns, tolerance = baseline[name]
         ratio = measured_ns / base_ns
         line = f"{name}: {measured_ns:.1f} ns vs baseline {base_ns:.1f} ns ({ratio:.2f}x)"
+        if tolerance != default_tolerance:
+            line += f" [tolerance {tolerance:.0%}]"
         if ratio > 1.0 + tolerance:
             regressions.append(line)
             print(f"  REGRESSION {line}")
@@ -97,8 +161,8 @@ def cmd_check(baseline_path: Path, runs: dict[str, float], tolerance: float) -> 
 
     if regressions:
         print(
-            f"\n{len(regressions)} benchmark(s) regressed beyond the "
-            f"{tolerance:.0%} tolerance:"
+            f"\n{len(regressions)} benchmark(s) regressed beyond their "
+            "tolerance:"
         )
         for line in regressions:
             print(f"  {line}")
@@ -108,7 +172,8 @@ def cmd_check(baseline_path: Path, runs: dict[str, float], tolerance: float) -> 
             "and commit the diff with an explanation."
         )
         return 1
-    print(f"\nall {len(runs)} benchmarks within {tolerance:.0%} of baseline")
+    print(f"\nall {len(runs)} benchmarks within tolerance "
+          f"(default {default_tolerance:.0%})")
     return 0
 
 

@@ -16,10 +16,10 @@ Machine::Machine(const MachineConfig& config)
                  config.migration_prob),
       clock_(config.hierarchy.num_cores, 0),
       current_(config.hierarchy.num_cores, kNoTask),
-      quantum_left_(config.hierarchy.num_cores, 0) {
+      quantum_left_(config.hierarchy.num_cores, 0),
+      jitter_rng_(config.seed ^ 0x9d15ea5e5ull) {
   if (config.quantum_cycles == 0) throw std::invalid_argument("Machine: zero quantum");
   if (config.batch_steps == 0) throw std::invalid_argument("Machine: zero batch_steps");
-  jitter_rng_.reseed(config.seed ^ 0x9d15ea5e5ull);
 }
 
 TaskId Machine::add_task(std::unique_ptr<workload::TaskStream> stream, std::size_t affinity) {

@@ -128,7 +128,7 @@ class Machine {
   std::uint64_t hook_period_ = 0;
   std::uint64_t next_hook_ = 0;
   std::function<void(Machine&)> hook_;
-  util::Rng jitter_rng_{0x71773e5u};
+  util::Rng jitter_rng_;  // seeded from config.seed in the mem-init list
 
   MachineStats stats_;
   /// Totals as of the last publish_metrics() (delta baseline).

@@ -1,0 +1,27 @@
+// determinism.hpp — source annotations consumed by the symdet static
+// analyzer (scripts/analyze/determinism.py, DESIGN.md §12).
+//
+// symdet flags traversals of unordered containers in the deterministic
+// modules whenever the loop body writes to anything that escapes: iteration
+// order is hash/salt/layout-dependent, so any order-sensitive accumulation
+// (floating-point sums, first-wins maps, report lines) silently breaks
+// bit-reproducibility. When the accumulation is genuinely commutative —
+// integer sums, counts, min/max over totally ordered keys, set unions —
+// annotate the traversal instead of rewriting it:
+//
+//   SYM_ORDER_INSENSITIVE("integer page count; + is commutative");
+//   for (const auto page : task.touched_pages) total += cost_of(page);
+//
+// The macro must sit on the traversal statement or on the code line directly
+// above it. It expands to a static_assert so the justification is forced to
+// be a non-empty string literal and the annotation can never change codegen.
+//
+// For nondeterminism that cannot be expressed as an order-insensitive
+// traversal, the escape hatch is the inline waiver comment
+// `// symdet: nondet(<reason>)`, which must also be registered in
+// scripts/analyze/determinism_waivers.toml.
+#pragma once
+
+#define SYM_ORDER_INSENSITIVE(reason) \
+  static_assert(sizeof(reason "") > 1, \
+                "SYM_ORDER_INSENSITIVE requires a non-empty string-literal reason")

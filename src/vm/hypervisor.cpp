@@ -26,7 +26,7 @@ std::unique_ptr<workload::Workload> make_dom0_workload(const VmConfig& config) {
   spec.total_refs = ~std::uint64_t{0} >> 1;  // effectively endless
   // Dom0 lives in its own reserved address space (pid-space 2^20).
   return std::make_unique<workload::Workload>(spec, machine::address_space_base(1u << 20),
-                                              util::Rng{0xd0d0});
+                                              util::Rng{config.dom0_seed});
 }
 
 }  // namespace

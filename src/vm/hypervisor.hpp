@@ -37,6 +37,10 @@ struct VmConfig {
   /// Mean compute gap of the Dom0 loop: bigger = lighter Dom0 load.
   double dom0_compute_gap = 400.0;
   std::uint64_t dom0_region_bytes = 96 * 1024;
+  /// Seed for the Dom0 housekeeping address stream. Part of the config so a
+  /// run is reproducible from its config alone (symdet rng discipline); the
+  /// default matches the historical stream, keeping golden reports stable.
+  std::uint64_t dom0_seed = 0xd0d0;
 };
 
 /// Identifier of a virtual machine (domain). Domain 0 is the control domain

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "machine/machine.hpp"
+#include "util/determinism.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 #include "workload/benchmark_model.hpp"
@@ -273,6 +275,34 @@ TEST(SummarizeImprovements, EmptyOutcomesYieldPoolOfZeroEntries) {
     EXPECT_EQ(entry.mixes, 0);
     EXPECT_EQ(entry.max_improvement, 0.0);
   }
+}
+
+// --- SYM_ORDER_INSENSITIVE (util/determinism.hpp) --------------------------
+// The annotation symdet accepts on unordered traversals must (a) compile to
+// nothing and (b) only ever mark accumulations that really are commutative:
+// the unordered-order fold has to equal the sorted-order fold.
+
+TEST(OrderInsensitiveAnnotation, CommutativeFoldMatchesSortedTraversal) {
+  std::unordered_set<std::uint64_t> pages;
+  util::Rng rng(21);
+  for (int i = 0; i < 500; ++i) pages.insert(rng.next_below(1u << 20));
+
+  std::uint64_t sum = 0, xr = 0;
+  SYM_ORDER_INSENSITIVE("integer sum and xor are commutative");
+  for (const auto page : pages) {
+    sum += page;
+    xr ^= page;
+  }
+
+  std::vector<std::uint64_t> sorted(pages.begin(), pages.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t sorted_sum = 0, sorted_xr = 0;
+  for (const auto page : sorted) {
+    sorted_sum += page;
+    sorted_xr ^= page;
+  }
+  EXPECT_EQ(sum, sorted_sum);
+  EXPECT_EQ(xr, sorted_xr);
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Tests for scripts/bench_gate.py (registered with CTest as
+tooling.bench_gate).
+
+Covers the per-metric tolerance overrides in the baseline format, the exit-2
+diagnostics for malformed baselines (no KeyError tracebacks), and the
+update-mode preservation of overrides.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_GATE = REPO_ROOT / "scripts" / "bench_gate.py"
+
+
+def run_file(names_to_ns: dict[str, float]) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": ns, "time_unit": "ns"}
+            for name, ns in names_to_ns.items()
+        ]
+    }
+
+
+class BenchGateCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name: str, doc: dict) -> Path:
+        path = self.dir / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def gate(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(BENCH_GATE), *args],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+
+
+class CheckMode(BenchGateCase):
+    def test_within_tolerance_passes(self):
+        baseline = self.write("base.json", {"benchmarks": {"BM_X": {"real_time_ns": 100.0}}})
+        run = self.write("run.json", run_file({"BM_X": 110.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_regression_fails(self):
+        baseline = self.write("base.json", {"benchmarks": {"BM_X": {"real_time_ns": 100.0}}})
+        run = self.write("run.json", run_file({"BM_X": 130.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_per_metric_tolerance_override_loosens_one_gate(self):
+        baseline = self.write("base.json", {"benchmarks": {
+            "BM_Tiny": {"real_time_ns": 5.0, "tolerance": 0.5},
+            "BM_Big": {"real_time_ns": 100.0},
+        }})
+        # Tiny is +40% (inside its 50% override), Big is +10% (inside 15%).
+        run = self.write("run.json", run_file({"BM_Tiny": 7.0, "BM_Big": 110.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("[tolerance 50%]", result.stdout)
+
+    def test_override_does_not_leak_to_other_benchmarks(self):
+        baseline = self.write("base.json", {"benchmarks": {
+            "BM_Tiny": {"real_time_ns": 5.0, "tolerance": 0.5},
+            "BM_Big": {"real_time_ns": 100.0},
+        }})
+        run = self.write("run.json", run_file({"BM_Tiny": 7.0, "BM_Big": 130.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("BM_Big", result.stdout)
+
+    def test_override_still_fails_beyond_its_band(self):
+        baseline = self.write("base.json", {"benchmarks": {
+            "BM_Tiny": {"real_time_ns": 5.0, "tolerance": 0.5},
+        }})
+        run = self.write("run.json", run_file({"BM_Tiny": 9.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+
+class MalformedBaseline(BenchGateCase):
+    def test_missing_real_time_ns_is_clean_exit_2(self):
+        baseline = self.write("base.json", {"benchmarks": {"BM_X": {"tolerance": 0.2}}})
+        run = self.write("run.json", run_file({"BM_X": 100.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("real_time_ns", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_missing_baseline_file_is_exit_2(self):
+        run = self.write("run.json", run_file({"BM_X": 100.0}))
+        result = self.gate("check", str(self.dir / "absent.json"), str(run))
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("does not exist", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_bad_tolerance_value_is_exit_2(self):
+        baseline = self.write("base.json", {"benchmarks": {
+            "BM_X": {"real_time_ns": 100.0, "tolerance": "loose"},
+        }})
+        run = self.write("run.json", run_file({"BM_X": 100.0}))
+        result = self.gate("check", str(baseline), str(run))
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("tolerance", result.stderr)
+
+
+class UpdateMode(BenchGateCase):
+    def test_update_preserves_tolerance_overrides(self):
+        baseline = self.write("base.json", {
+            "_comment": ["history"],
+            "benchmarks": {"BM_Tiny": {"real_time_ns": 5.0, "tolerance": 0.5}},
+        })
+        run = self.write("run.json", run_file({"BM_Tiny": 6.0, "BM_New": 42.0}))
+        result = self.gate("update", str(baseline), str(run))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        self.assertEqual(doc["_comment"], ["history"])  # other keys preserved
+        self.assertEqual(doc["benchmarks"]["BM_Tiny"],
+                         {"real_time_ns": 6.0, "tolerance": 0.5})
+        self.assertEqual(doc["benchmarks"]["BM_New"], {"real_time_ns": 42.0})
+
+
+class CommittedBaseline(BenchGateCase):
+    def test_committed_baseline_parses_and_gates_itself(self):
+        # The committed baseline must stay well-formed: replaying its own
+        # numbers as a run file is a self-check that exercises every entry
+        # (including the tolerance overrides) and must pass at ratio 1.0.
+        committed = REPO_ROOT / "bench" / "BENCH_kernels.json"
+        doc = json.loads(committed.read_text(encoding="utf-8"))
+        self.assertTrue(any("tolerance" in e for e in doc["benchmarks"].values()),
+                        "expected at least one per-metric override in the baseline")
+        run = self.write("run.json", run_file(
+            {name: entry["real_time_ns"] for name, entry in doc["benchmarks"].items()}))
+        result = self.gate("check", str(committed), str(run))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -174,6 +174,84 @@ class RawMutexRule(unittest.TestCase):
         self.assertEqual(self.check("src/util/c.hpp", text), [])
 
 
+class WaiverEdgeCases(unittest.TestCase):
+    """Corner cases of the `// symlint: unguarded` waiver grammar: CRLF
+    files, trailing explanation text, and interaction with block-comment
+    state (the waiver must be a line comment — block-comment styling does
+    not count, and declarations inside block comments are not declarations).
+    """
+
+    def check(self, relpath: str, text: str, newline: str = "\n") -> list[str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8", newline=newline) as fh:
+                fh.write(text)
+            return lint.check_file(path)
+
+    def test_crlf_waiver_accepted(self):
+        text = (
+            "#pragma once\n"
+            "class C {\n  std::mutex m_;  // symlint: unguarded — wrapper\n};\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text, newline="\r\n"), [])
+
+    def test_crlf_unguarded_mutex_still_flagged(self):
+        # CRLF endings must not hide a violation either (the \r is stripped
+        # by universal newlines, never glued onto the declaration).
+        text = "#pragma once\nclass C {\n  std::mutex m_;\n};\n"
+        problems = self.check("src/util/c.hpp", text, newline="\r\n")
+        self.assertEqual(len(problems), 1, problems)
+        self.assertIn("mutex 'm_'", problems[0])
+
+    def test_waiver_with_trailing_punctuation_and_text(self):
+        text = (
+            "#pragma once\n"
+            "class C {\n"
+            "  std::mutex m_;  // symlint: unguarded(see DESIGN.md §7), "
+            "guards only its own queue\n};\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text), [])
+
+    def test_block_comment_style_waiver_is_not_a_waiver(self):
+        # The grammar requires a line comment; /* symlint: unguarded */ is
+        # documentation, not a waiver.
+        text = (
+            "#pragma once\n"
+            "class C {\n  std::mutex m_;  /* symlint: unguarded */\n};\n"
+        )
+        problems = self.check("src/util/c.hpp", text)
+        self.assertTrue(any("mutex 'm_'" in p for p in problems), problems)
+
+    def test_mutex_decl_inside_block_comment_is_not_a_decl(self):
+        text = (
+            "#pragma once\n"
+            "/* historical sketch:\n"
+            "  std::mutex retired_;\n"
+            "*/\n"
+            "class C { int x_ = 0; };\n"
+        )
+        self.assertEqual(self.check("src/util/c.hpp", text), [])
+
+    def test_block_comment_state_tracked_across_waived_and_live_decls(self):
+        # A waived decl, then a block comment hiding a fake decl, then a live
+        # unwaived decl: exactly the live one fires, at the right line.
+        text = (
+            "#pragma once\n"
+            "class C {\n"
+            "  std::mutex a_;  // symlint: unguarded — external contract\n"
+            "  /* commented out pending redesign:\n"
+            "  std::mutex b_;\n"
+            "  */\n"
+            "  std::mutex c_;\n"
+            "};\n"
+        )
+        problems = self.check("src/util/c.hpp", text)
+        self.assertEqual(len(problems), 1, problems)
+        self.assertIn("mutex 'c_'", problems[0])
+        self.assertIn(":7:", problems[0])
+
+
 class WholeRepo(unittest.TestCase):
     def test_repo_trees_are_clean(self):
         import subprocess
