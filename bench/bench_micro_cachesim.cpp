@@ -26,7 +26,8 @@ void BM_CacheAccess(benchmark::State& state) {
 BENCHMARK(BM_CacheAccess)
     ->Arg(static_cast<int>(cachesim::ReplacementKind::Lru))
     ->Arg(static_cast<int>(cachesim::ReplacementKind::TreePlru))
-    ->Arg(static_cast<int>(cachesim::ReplacementKind::Random));
+    ->Arg(static_cast<int>(cachesim::ReplacementKind::Random))
+    ->Arg(static_cast<int>(cachesim::ReplacementKind::Srrip));
 
 void BM_HierarchyAccess(benchmark::State& state) {
   cachesim::HierarchyConfig cfg;
@@ -61,6 +62,33 @@ void BM_HierarchyAccessBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_HierarchyAccessBatch)->Arg(64)->Arg(1024);
+
+void BM_ClusteredHierarchyBatch(benchmark::State& state) {
+  // The 3-level composable graph on the same batched replay path: the
+  // 32-core clustered machine (4x512KB cluster L2s + 2MB SRRIP L3), one
+  // core per cluster issuing in rotation so every batch crosses cluster
+  // boundaries and touches the shared L3.
+  cachesim::HierarchyConfig cfg = machine::clustered32_config().hierarchy;
+  cachesim::Hierarchy h(cfg);
+  util::Rng rng(2);
+  constexpr std::size_t kRing = 1 << 16;
+  std::vector<cachesim::MemRef> refs(kRing);
+  for (auto& ref : refs) ref = {rng.next_below(1 << 22), rng.next_bool(0.3)};
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::size_t cores_per_cluster = h.num_cores() / h.num_clusters();
+  std::size_t pos = 0;
+  std::size_t cluster = 0;
+  for (auto _ : state) {
+    if (pos + batch > kRing) pos = 0;
+    benchmark::DoNotOptimize(h.access_batch(cluster * cores_per_cluster, refs.data() + pos,
+                                            batch));
+    pos += batch;
+    cluster = (cluster + 1) % h.num_clusters();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ClusteredHierarchyBatch)->Arg(64)->Arg(1024);
 
 void BM_MachineStep(benchmark::State& state) {
   machine::MachineConfig cfg = machine::core2duo_config();

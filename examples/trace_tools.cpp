@@ -177,8 +177,10 @@ int cmd_validate(int argc, char** argv) {
   const auto problems = core::validate_report(report);
   for (const auto& p : problems) std::printf("%s\n", p.c_str());
   if (problems.empty()) {
+    // Print the document's OWN stamp: degenerate machines emit v1,
+    // clustered/L3 machines v2 (both validate).
     std::printf("valid %s v%llu report\n", std::string(core::kReportSchema).c_str(),
-                static_cast<unsigned long long>(core::kReportSchemaVersion));
+                static_cast<unsigned long long>(report.at("schema_version").as_u64()));
     return 0;
   }
   std::printf("%zu problem(s)\n", problems.size());

@@ -13,8 +13,38 @@ Cache::Cache(CacheGeometry geometry, ReplacementKind replacement, std::size_t re
       set_bits_(geometry.set_bits()),
       policy_(make_replacement(replacement, geometry.sets(), geometry.ways, seed)),
       lines_(geometry.lines()),
-      per_requestor_(requestors) {
+      per_requestor_(requestors),
+      fill_range_(requestors, WayRange{0, geometry.ways}) {
   geom_.validate();
+}
+
+void Cache::set_partition(const CachePartition& partition,
+                          const std::vector<std::size_t>& group_of_requestor) {
+  SYM_CHECK(partition.enabled(), "cachesim.partition")
+      << "set_partition with an empty partition (use the default full range)";
+  SYM_CHECK(policy_->supports_partitioning(), "cachesim.partition")
+      << "replacement policy cannot confine victims to a way range";
+  SYM_CHECK_EQ(group_of_requestor.size(), per_requestor_.size(), "cachesim.partition")
+      << "need one group id per requestor";
+  for (const std::size_t w : partition.ways_per_group) {
+    SYM_CHECK(w >= 1, "cachesim.partition") << "a zero-way group could never fill a line";
+  }
+  SYM_CHECK_LE(partition.total_ways(), ways_, "cachesim.partition")
+      << "partition claims " << partition.total_ways() << " ways of " << ways_;
+
+  // Contiguous CAT-style ranges: group g owns [prefix(g), prefix(g) + ways).
+  std::vector<WayRange> group_range(partition.groups());
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < partition.groups(); ++g) {
+    group_range[g] = WayRange{next, next + partition.ways_per_group[g]};
+    next += partition.ways_per_group[g];
+  }
+  for (std::size_t r = 0; r < group_of_requestor.size(); ++r) {
+    SYM_CHECK_BOUNDS(group_of_requestor[r], group_range.size(), "cachesim.partition")
+        << "requestor " << r << " mapped to a group the partition does not define";
+    fill_range_[r] = group_range[group_of_requestor[r]];
+  }
+  partitioned_ = true;
 }
 
 AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
@@ -43,21 +73,25 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
     }
   }
 
-  // Miss: fill into an invalid way if any, else evict the policy's victim.
+  // Miss: fill into an invalid way of the requestor's range if any, else
+  // evict the policy's victim from that range. Unpartitioned caches have
+  // every range pre-resolved to [0, ways), making this path identical to
+  // the pre-partition scan.
   ++total_.misses;
   ++per_requestor_[requestor].misses;
 
+  const WayRange range = fill_range_[requestor];
   std::size_t way = ways_;  // sentinel
-  for (std::size_t w = 0; w < ways_; ++w) {
+  for (std::size_t w = range.begin; w < range.end; ++w) {
     if (!set_lines[w].valid) {
       way = w;
       break;
     }
   }
   if (way == ways_) {
-    way = policy_->victim(set);
-    SYM_DCHECK_LT(way, ways_, "cachesim.replacement")
-        << "replacement policy chose an out-of-range victim way";
+    way = policy_->victim_in(set, range.begin, range.end);
+    SYM_DCHECK(way >= range.begin && way < range.end, "cachesim.replacement")
+        << "replacement policy chose a victim outside the requestor's way range";
     Line& victim = set_lines[way];
     SYM_DCHECK(victim.valid, "cachesim.replacement")
         << "victim way " << way << " of full set " << set << " is invalid";
@@ -94,6 +128,12 @@ bool Cache::probe(LineAddr line) const noexcept {
 }
 
 bool Cache::invalidate(LineAddr line) noexcept {
+  std::size_t set = 0;
+  std::size_t way = 0;
+  return invalidate(line, set, way);
+}
+
+bool Cache::invalidate(LineAddr line, std::size_t& set_out, std::size_t& way_out) noexcept {
   const auto set = static_cast<std::size_t>(line & set_mask_);
   const std::uint64_t tag = line >> set_bits_;
   for (std::size_t w = 0; w < ways_; ++w) {
@@ -101,6 +141,8 @@ bool Cache::invalidate(LineAddr line) noexcept {
     if (entry.valid && entry.tag == tag) {
       entry.valid = false;
       entry.dirty = false;
+      set_out = set;
+      way_out = w;
       return true;
     }
   }

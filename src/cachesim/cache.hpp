@@ -12,6 +12,7 @@
 
 #include "cachesim/addr.hpp"
 #include "cachesim/replacement.hpp"
+#include "cachesim/topology.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -57,6 +58,21 @@ class Cache {
   /// Does not count as an eviction (used for inclusion enforcement).
   bool invalidate(LineAddr line) noexcept;
 
+  /// Invalidate and report WHERE the line sat, so callers mirroring this
+  /// cache's contents (the signature FilterUnit during L3 back-invalidation)
+  /// can retire the same (set, way). Outputs are untouched on a miss.
+  bool invalidate(LineAddr line, std::size_t& set_out, std::size_t& way_out) noexcept;
+
+  /// Apply a CAT-style way partition (cachesim/topology.hpp): requestor r
+  /// belongs to group @p group_of_requestor[r] and may FILL only within its
+  /// group's contiguous way range; lookups still search the whole set, so
+  /// no cached line is lost. Validated with SYM_CHECK ("cachesim.partition"):
+  /// one group per requestor-group, every group at least one way, the sum
+  /// within the associativity, and a partition-capable replacement policy.
+  void set_partition(const CachePartition& partition,
+                     const std::vector<std::size_t>& group_of_requestor);
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+
   /// Occupied lines (valid entries) — true footprint ground truth for the
   /// Fig 2/5 experiment, counted per requestor when @p requestor != npos.
   [[nodiscard]] std::size_t occupancy(std::size_t requestor = kAnyRequestor) const noexcept;
@@ -80,6 +96,12 @@ class Cache {
     std::size_t owner = 0;  ///< requestor that last filled the line
   };
 
+  /// Fill/victim way range of one requestor ([0, ways) when unpartitioned).
+  struct WayRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
   [[nodiscard]] Line& line_at(std::size_t set, std::size_t way) noexcept {
     return lines_[set * ways_ + way];
   }
@@ -99,6 +121,10 @@ class Cache {
   std::vector<Line> lines_;
   CacheStats total_;
   std::vector<CacheStats> per_requestor_;
+  /// Per-requestor fill range, pre-resolved so the access hot path is one
+  /// indexed load with no partition branch. Defaults to the full set.
+  std::vector<WayRange> fill_range_;
+  bool partitioned_ = false;
 };
 
 }  // namespace symbiosis::cachesim

@@ -15,7 +15,7 @@
 
 namespace symbiosis::cachesim {
 
-enum class ReplacementKind { Lru, Fifo, Random, TreePlru };
+enum class ReplacementKind { Lru, Fifo, Random, TreePlru, Srrip };
 
 [[nodiscard]] std::string to_string(ReplacementKind kind);
 [[nodiscard]] ReplacementKind parse_replacement(const std::string& name);
@@ -32,6 +32,16 @@ class ReplacementPolicy {
   virtual void on_fill(std::size_t set, std::size_t way) noexcept = 0;
   /// Choose the victim way within @p set (all ways valid).
   [[nodiscard]] virtual std::size_t victim(std::size_t set) noexcept = 0;
+  /// Choose the victim within ways [@p begin, @p end) of @p set — the
+  /// way-partitioned variant (cachesim/topology.hpp). Contract:
+  /// victim_in(set, 0, ways) is BIT-IDENTICAL to victim(set) for every
+  /// policy, including any RNG draws, so an unpartitioned cache can route
+  /// all victim selection through this entry point without drift.
+  [[nodiscard]] virtual std::size_t victim_in(std::size_t set, std::size_t begin,
+                                              std::size_t end) noexcept = 0;
+  /// False for policies whose state cannot be confined to a way range
+  /// (tree-PLRU); Cache::set_partition rejects those.
+  [[nodiscard]] virtual bool supports_partitioning() const noexcept { return true; }
   /// Drop all state.
   virtual void reset() noexcept = 0;
 };

@@ -1,0 +1,72 @@
+#include "cachesim/topology.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace symbiosis::cachesim {
+
+std::size_t CachePartition::total_ways() const noexcept {
+  std::size_t sum = 0;
+  for (const std::size_t w : ways_per_group) sum += w;
+  return sum;
+}
+
+namespace {
+
+/// One shared level's partition against that level's associativity.
+void validate_partition(const CachePartition& partition, std::size_t groups, std::size_t ways,
+                        const char* level) {
+  if (!partition.enabled()) return;
+  SYM_CHECK_EQ(partition.groups(), groups, "cachesim.partition")
+      << level << " partition must name exactly one way count per sharer group";
+  for (const std::size_t w : partition.ways_per_group) {
+    SYM_CHECK(w >= 1, "cachesim.partition")
+        << level << " partition group with zero ways could never fill a line";
+  }
+  SYM_CHECK_LE(partition.total_ways(), ways, "cachesim.partition")
+      << level << " partition claims more ways than the cache has";
+}
+
+}  // namespace
+
+void HierarchyTopology::validate() const {
+  SYM_CHECK(num_cores > 0, "cachesim.topology") << "topology needs at least one core";
+  SYM_CHECK(l2_clusters > 0, "cachesim.topology") << "topology needs at least one L2 cluster";
+  SYM_CHECK(l2_shared || l2_clusters == 1, "cachesim.topology")
+      << "private-L2 topologies fix clusters = cores; leave l2_clusters at 1";
+  SYM_CHECK_LE(clusters(), num_cores, "cachesim.topology")
+      << "more L2 clusters than cores (an L2 with no sharers is dead hardware)";
+  SYM_CHECK_EQ(clusters() * cores_per_cluster(), num_cores, "cachesim.topology")
+      << "cluster count must divide the core count evenly (" << num_cores << " cores / "
+      << clusters() << " clusters)";
+  SYM_CHECK_EQ(l1.line_bytes, l2.line_bytes, "cachesim.topology")
+      << "L1 and L2 must share a line size";
+  if (l3) {
+    SYM_CHECK_EQ(l3->line_bytes, l2.line_bytes, "cachesim.topology")
+        << "L3 must share the L1/L2 line size";
+  }
+  SYM_CHECK(l3.has_value() || !l3_partition.enabled(), "cachesim.topology")
+      << "an L3 way partition needs an L3";
+  validate_partition(l2_partition, cores_per_cluster(), l2.ways, "L2");
+  if (l3) validate_partition(l3_partition, clusters(), l3->ways, "L3");
+}
+
+std::string HierarchyTopology::describe() const {
+  std::ostringstream out;
+  out << num_cores << " cores / ";
+  if (!l2_shared) {
+    out << "private " << (l2.size_bytes / 1024) << "KiB L2s";
+  } else {
+    out << clusters() << "x" << (l2.size_bytes / 1024) << "KiB "
+        << (clusters() == 1 ? "shared L2" : "cluster L2");
+  }
+  if (l2_partition.enabled()) out << " (way-partitioned)";
+  if (l3) {
+    out << " / " << (l3->size_bytes / (1024 * 1024)) << "MiB shared L3";
+    if (l3_partition.enabled()) out << " (way-partitioned)";
+  }
+  return out.str();
+}
+
+}  // namespace symbiosis::cachesim

@@ -27,7 +27,11 @@ obs::Json string_array(const std::vector<std::string>& values) {
 obs::Json report_envelope(std::string kind, const PipelineConfig& config) {
   obs::Json report = obs::Json::object();
   report.set("schema", obs::Json(kReportSchema));
-  report.set("schema_version", obs::Json(kReportSchemaVersion));
+  // Degenerate two-level machines keep the v1 stamp (and the v1 document,
+  // byte for byte); only cluster/L3/partition topologies move to v2.
+  const bool degenerate = config.machine.hierarchy.topology().degenerate();
+  report.set("schema_version",
+             obs::Json(degenerate ? kLegacyReportSchemaVersion : kReportSchemaVersion));
   report.set("kind", obs::Json(std::move(kind)));
   report.set("config", pipeline_config_to_json(config));
   return report;
@@ -50,6 +54,26 @@ obs::Json pipeline_config_to_json(const PipelineConfig& config) {
   machine.set("l2_ways", obs::Json(static_cast<std::uint64_t>(h.l2.ways)));
   machine.set("line_bytes", obs::Json(static_cast<std::uint64_t>(h.l1.line_bytes)));
   machine.set("shared_l2", obs::Json(h.shared_l2));
+  // Graph-shape fields exist only on non-degenerate topologies so the v1
+  // (degenerate) machine object — and the golden fixture — never changes.
+  const cachesim::HierarchyTopology topo = h.topology();
+  if (!topo.degenerate()) {
+    machine.set("l2_clusters", obs::Json(static_cast<std::uint64_t>(topo.clusters())));
+    machine.set("topology", obs::Json(topo.describe()));
+    if (topo.l3) {
+      machine.set("l3_bytes", obs::Json(static_cast<std::uint64_t>(topo.l3->size_bytes)));
+      machine.set("l3_ways", obs::Json(static_cast<std::uint64_t>(topo.l3->ways)));
+      machine.set("l3_replacement", obs::Json(cachesim::to_string(h.l3_replacement)));
+    }
+    if (topo.l2_partition.enabled()) {
+      machine.set("l2_way_partition", u64_array({topo.l2_partition.ways_per_group.begin(),
+                                                 topo.l2_partition.ways_per_group.end()}));
+    }
+    if (topo.l3_partition.enabled()) {
+      machine.set("l3_way_partition", u64_array({topo.l3_partition.ways_per_group.begin(),
+                                                 topo.l3_partition.ways_per_group.end()}));
+    }
+  }
   machine.set("quantum_cycles", obs::Json(config.machine.quantum_cycles));
   machine.set("quantum_jitter", obs::Json(config.machine.quantum_jitter));
   machine.set("migration_prob", obs::Json(config.machine.migration_prob));
@@ -78,6 +102,20 @@ obs::Json mapping_run_to_json(const MappingRun& run) {
   out.set("user_cycles", u64_array(run.user_cycles));
   out.set("wall_cycles", obs::Json(run.wall_cycles));
   out.set("completed", obs::Json(run.completed));
+  if (!run.levels.empty()) {
+    // Schema v2 only: absent on degenerate (v1) machines by construction.
+    obs::Json levels = obs::Json::array();
+    for (const auto& level : run.levels) {
+      obs::Json entry = obs::Json::object();
+      entry.set("level", obs::Json(level.level));
+      entry.set("accesses", obs::Json(level.stats.accesses));
+      entry.set("hits", obs::Json(level.stats.hits));
+      entry.set("misses", obs::Json(level.stats.misses));
+      entry.set("evictions", obs::Json(level.stats.evictions));
+      levels.push_back(std::move(entry));
+    }
+    out.set("levels", std::move(levels));
+  }
   return out;
 }
 
@@ -245,6 +283,26 @@ void validate_mapping(const obs::Json& mapping, const std::string& where,
       names->size() != cycles->size()) {
     problems.push_back(where + ": names and user_cycles lengths differ");
   }
+  // "levels" is optional (schema v2 non-degenerate machines only), but when
+  // present each entry must carry the full counter set.
+  if (const obs::Json* levels = mapping.find("levels")) {
+    if (!levels->is_array()) {
+      problems.push_back(where + ": levels is not an array");
+      return;
+    }
+    for (std::size_t i = 0; i < levels->size(); ++i) {
+      const obs::Json& entry = levels->as_array()[i];
+      const std::string entry_where = where + ".levels." + std::to_string(i);
+      if (!entry.is_object()) {
+        problems.push_back(entry_where + ": not an object");
+        continue;
+      }
+      require_member(entry, "level", "string", problems);
+      for (const auto* key : {"accesses", "hits", "misses", "evictions"}) {
+        require_member(entry, key, "number", problems);
+      }
+    }
+  }
 }
 
 void validate_outcome(const obs::Json& outcome, const std::string& where,
@@ -291,9 +349,11 @@ std::vector<std::string> validate_report(const obs::Json& report) {
                        schema->as_string() + "\"");
   }
   const obs::Json* version = report.find("schema_version");
-  if (version && version->is_number() && version->as_u64() != kReportSchemaVersion) {
-    problems.push_back("schema_version: expected " + std::to_string(kReportSchemaVersion) +
-                       ", got " + std::to_string(version->as_u64()));
+  if (version && version->is_number() && version->as_u64() != kReportSchemaVersion &&
+      version->as_u64() != kLegacyReportSchemaVersion) {
+    problems.push_back("schema_version: expected " + std::to_string(kLegacyReportSchemaVersion) +
+                       " or " + std::to_string(kReportSchemaVersion) + ", got " +
+                       std::to_string(version->as_u64()));
   }
 
   const obs::Json* config = report.find("config");

@@ -99,6 +99,17 @@ sched::Allocation SymbioticScheduler::choose_allocation_mt(const std::vector<std
 
 namespace {
 
+/// Attach per-level cache counters (schema v2). Degenerate two-level
+/// machines skip this so their v1 report stays byte-identical to the
+/// pre-graph implementation.
+void collect_level_stats(const machine::Machine& m, MappingRun& run) {
+  if (m.config().hierarchy.topology().degenerate()) return;
+  const cachesim::Hierarchy& h = m.hierarchy();
+  run.levels.push_back({"l1", h.level_stats("l1")});
+  run.levels.push_back({"l2", h.level_stats("l2")});
+  if (h.has_l3()) run.levels.push_back({"l3", h.level_stats("l3")});
+}
+
 MappingRun finish_run(machine::Machine& m, const std::vector<machine::TaskId>& ids,
                       const sched::Allocation& allocation, bool completed) {
   MappingRun run;
@@ -110,6 +121,7 @@ MappingRun finish_run(machine::Machine& m, const std::vector<machine::TaskId>& i
     run.names.push_back(task.name());
     run.user_cycles.push_back(task.first_completion_user_cycles);
   }
+  collect_level_stats(m, run);
   return run;
 }
 
@@ -156,6 +168,7 @@ MappingRun measure_mapping_vm(const PipelineConfig& config, const std::vector<st
     run.names.push_back(hv.domain_name(dom));
     run.user_cycles.push_back(hv.domain_user_cycles(dom));
   }
+  collect_level_stats(hv.machine(), run);
   return run;
 }
 
@@ -190,6 +203,7 @@ MappingRun measure_mapping_mt(const PipelineConfig& config, const std::vector<st
     run.names.push_back(mix[i]);
     run.user_cycles.push_back(user);
   }
+  collect_level_stats(m, run);
   return run;
 }
 

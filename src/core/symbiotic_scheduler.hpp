@@ -49,6 +49,14 @@ struct PipelineConfig {
   void sync_scale() noexcept { scale.l2_bytes = machine.hierarchy.l2.size_bytes; }
 };
 
+/// Counters of one cache level over one measurement run (schema v2).
+struct NamedLevelStats {
+  std::string level;  ///< "l1", "l2" or "l3"
+  cachesim::LevelStats stats;
+
+  [[nodiscard]] bool operator==(const NamedLevelStats&) const = default;
+};
+
 /// One phase-2 measurement of one mapping.
 struct MappingRun {
   sched::Allocation allocation;
@@ -56,6 +64,11 @@ struct MappingRun {
   std::vector<std::uint64_t> user_cycles;  ///< first-completion user time
   std::uint64_t wall_cycles = 0;         ///< simulated time until all completed
   bool completed = false;
+  /// Per-level cache counters ("l1", "l2", then "l3" when present) — only
+  /// populated on non-degenerate topologies, where the run report is
+  /// stamped schema v2; degenerate machines keep the v1 document
+  /// byte-identical.
+  std::vector<NamedLevelStats> levels;
 
   /// Field-wise equality (the determinism suite compares whole runs).
   [[nodiscard]] bool operator==(const MappingRun&) const = default;

@@ -83,4 +83,32 @@ struct MachineConfig {
   return m;
 }
 
+/// 32-core clustered CMP: 4 clusters of 8 cores, each cluster sharing one
+/// 512KB/16-way L2 (with its own signature unit), all clusters below one
+/// 2MB/16-way SRRIP L3 — the ROADMAP's many-core scheduling substrate,
+/// where allocation decides WHICH cluster a process contends in.
+[[nodiscard]] inline MachineConfig clustered32_config() {
+  MachineConfig m;
+  m.hierarchy.num_cores = 32;
+  m.hierarchy.l1 = {8 * 1024, 8, 64};
+  m.hierarchy.l2 = {512 * 1024, 16, 64};
+  m.hierarchy.shared_l2 = true;
+  m.hierarchy.l2_clusters = 4;
+  m.hierarchy.l3 = cachesim::CacheGeometry{2 * 1024 * 1024, 16, 64};
+  return m;
+}
+
+/// 64-core clustered CMP: 8 clusters of 8, 4MB/32-way SRRIP L3 — the
+/// topology-matrix stress configuration.
+[[nodiscard]] inline MachineConfig manycore64_config() {
+  MachineConfig m;
+  m.hierarchy.num_cores = 64;
+  m.hierarchy.l1 = {8 * 1024, 8, 64};
+  m.hierarchy.l2 = {512 * 1024, 16, 64};
+  m.hierarchy.shared_l2 = true;
+  m.hierarchy.l2_clusters = 8;
+  m.hierarchy.l3 = cachesim::CacheGeometry{4 * 1024 * 1024, 32, 64};
+  return m;
+}
+
 }  // namespace symbiosis::machine

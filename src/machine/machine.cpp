@@ -13,11 +13,12 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       hierarchy_(config.hierarchy),
       scheduler_(config.hierarchy.num_cores, config.seed ^ 0x5c4ed41e5ull,
-                 config.migration_prob),
+                 config.migration_prob, config.hierarchy.topology().cores_per_cluster()),
       clock_(config.hierarchy.num_cores, 0),
       current_(config.hierarchy.num_cores, kNoTask),
       quantum_left_(config.hierarchy.num_cores, 0),
       jitter_rng_(config.seed ^ 0x9d15ea5e5ull) {
+  has_l3_ = hierarchy_.has_l3();
   if (config.quantum_cycles == 0) throw std::invalid_argument("Machine: zero quantum");
   if (config.batch_steps == 0) throw std::invalid_argument("Machine: zero batch_steps");
 }
@@ -72,9 +73,13 @@ const Task* Machine::running_on(std::size_t core) const {
 
 void Machine::record_signature(std::size_t core, Task& task) {
   SYM_DCHECK_BOUNDS(core, config_.hierarchy.num_cores, "machine.affinity");
-  sig::FilterUnit* filter = hierarchy_.filter();
+  sig::FilterUnit* filter = hierarchy_.filter_for_core(core);
   if (!filter) return;
-  const sig::BitVector rbv = filter->compute_rbv(core);
+  // Signature hardware lives per cluster with cluster-local core slots; on
+  // the degenerate single-cluster machine local == global.
+  const std::size_t cluster = hierarchy_.cluster_of(core);
+  const std::size_t local = hierarchy_.local_core(core);
+  const sig::BitVector rbv = filter->compute_rbv(local);
   static obs::Histogram& popcount_hist = obs::histogram("sig.rbv.popcount");
   popcount_hist.observe(rbv.popcount());
   sig::SignatureSample sample;
@@ -82,10 +87,20 @@ void Machine::record_signature(std::size_t core, Task& task) {
   sample.occupancy_weight = rbv.popcount();
   sample.symbiosis.resize(config_.hierarchy.num_cores);
   for (std::size_t c = 0; c < config_.hierarchy.num_cores; ++c) {
-    // Own core compares against the LF snapshot (co-residents' footprint);
-    // other cores against their live CFs (§3.1 / filter_unit.hpp).
-    sample.symbiosis[c] =
-        c == core ? filter->self_symbiosis(rbv, c) : filter->symbiosis(rbv, c);
+    if (hierarchy_.cluster_of(c) == cluster) {
+      // Own core compares against the LF snapshot (co-residents' footprint);
+      // other same-cluster cores against their live CFs (§3.1 /
+      // filter_unit.hpp).
+      const std::size_t other_local = hierarchy_.local_core(c);
+      sample.symbiosis[c] = c == core ? filter->self_symbiosis(rbv, local)
+                                      : filter->symbiosis(rbv, other_local);
+    } else {
+      // Other cluster: that core's footprint lives in a different L2, so
+      // the footprints are disjoint by construction (filter_unit.hpp).
+      const sig::FilterUnit* other = hierarchy_.filter_for_core(c);
+      sample.symbiosis[c] =
+          sig::disjoint_symbiosis(rbv, other->core_filter_weight(hierarchy_.local_core(c)));
+    }
   }
   task.signature().record(sample);
 }
@@ -167,7 +182,13 @@ void Machine::execute_batch(std::size_t core) {
     if (!mem.l1_hit) {
       ++counters.l1_misses;
       ++counters.l2_accesses;
-      if (!mem.l2_hit) ++counters.l2_misses;
+      if (!mem.l2_hit) {
+        ++counters.l2_misses;
+        if (has_l3_) {
+          ++counters.l3_accesses;
+          if (!mem.l3_hit) ++counters.l3_misses;
+        }
+      }
     }
 
     clock_[core] += cycles;

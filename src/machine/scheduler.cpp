@@ -8,9 +8,16 @@
 
 namespace symbiosis::machine {
 
-Scheduler::Scheduler(std::size_t num_cores, std::uint64_t seed, double migration_prob)
-    : queues_(num_cores), migration_prob_(migration_prob), rng_(seed) {
+Scheduler::Scheduler(std::size_t num_cores, std::uint64_t seed, double migration_prob,
+                     std::size_t cores_per_cluster)
+    : queues_(num_cores),
+      migration_prob_(migration_prob),
+      cores_per_cluster_(cores_per_cluster == 0 ? num_cores : cores_per_cluster),
+      rng_(seed) {
   if (num_cores == 0) throw std::invalid_argument("Scheduler: num_cores must be > 0");
+  if (num_cores % cores_per_cluster_ != 0) {
+    throw std::invalid_argument("Scheduler: cluster size must divide the core count");
+  }
 }
 
 void Scheduler::ensure_tracked(TaskId task) {
@@ -32,6 +39,24 @@ std::size_t Scheduler::least_loaded_core() {
       ties = 1;
     } else if (depth == best_depth) {
       // Reservoir-style random tie-break keeps migration unbiased.
+      if (rng_.next_below(++ties) == 0) best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t Scheduler::least_loaded_core_near(std::size_t core) {
+  const std::size_t base = (core / cores_per_cluster_) * cores_per_cluster_;
+  std::size_t best = base;
+  std::size_t best_depth = queues_[base].size();
+  std::size_t ties = 1;
+  for (std::size_t c = base + 1; c < base + cores_per_cluster_; ++c) {
+    const std::size_t depth = queues_[c].size();
+    if (depth < best_depth) {
+      best = c;
+      best_depth = depth;
+      ties = 1;
+    } else if (depth == best_depth) {
       if (rng_.next_below(++ties) == 0) best = c;
     }
   }
@@ -92,7 +117,13 @@ void Scheduler::yield(std::size_t core, TaskId task) {
   if (target == Task::kAnyCore) {
     // OS load balancing: unpinned tasks occasionally drift to the emptiest
     // queue; otherwise they stay put (cache-affinity-style stickiness).
-    target = rng_.next_bool(migration_prob_) ? least_loaded_core() : assignment_[task];
+    // Clustered machines balance within the cluster only (see class doc);
+    // the single-cluster case takes the exact pre-cluster code path.
+    if (rng_.next_bool(migration_prob_)) {
+      target = clustered() ? least_loaded_core_near(assignment_[task]) : least_loaded_core();
+    } else {
+      target = assignment_[task];
+    }
     if (target != assignment_[task]) {
       static obs::Counter& migrations = obs::counter("machine.sched.migrations");
       migrations.add(1);

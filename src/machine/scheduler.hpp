@@ -29,8 +29,17 @@ namespace symbiosis::machine {
 /// tasks always return to their affinity queue.
 class Scheduler {
  public:
+  /// @p cores_per_cluster groups cores into LLC-sharing clusters (the
+  /// machine's L2 topology); 0 means one cluster spanning every core. On
+  /// clustered machines the load balancer is CLUSTER-AFFINE: an unpinned
+  /// task only drifts within its current cluster, like Linux's sched
+  /// domains preferring intra-LLC balancing — a cross-cluster move would
+  /// forfeit the task's whole shared-cache footprint. Cross-cluster
+  /// placement stays the allocation layer's job (set_affinity). With one
+  /// cluster this degenerates to the original global balancer, drawing the
+  /// same RNG sequence.
   explicit Scheduler(std::size_t num_cores, std::uint64_t seed = 1,
-                     double migration_prob = 0.15);
+                     double migration_prob = 0.15, std::size_t cores_per_cluster = 0);
 
   [[nodiscard]] std::size_t num_cores() const noexcept { return queues_.size(); }
 
@@ -68,10 +77,14 @@ class Scheduler {
   std::vector<std::size_t> affinity_;    // task -> pinned core or kAnyCore
   std::size_t next_default_core_ = 0;
   double migration_prob_;
+  std::size_t cores_per_cluster_;
   util::Rng rng_;
 
+  [[nodiscard]] bool clustered() const noexcept { return cores_per_cluster_ < queues_.size(); }
   void ensure_tracked(TaskId task);
   [[nodiscard]] std::size_t least_loaded_core();
+  /// Least-loaded queue among the cores sharing @p core's cluster L2.
+  [[nodiscard]] std::size_t least_loaded_core_near(std::size_t core);
 };
 
 }  // namespace symbiosis::machine

@@ -94,6 +94,10 @@ class FilterUnit {
   /// footprint-tracking experiment, which monitors CF ones over time).
   [[nodiscard]] std::size_t core_filter_weight(std::size_t core) const noexcept;
 
+  /// Number of cores this unit monitors (cluster-LOCAL on clustered
+  /// machines, where each shared L2 carries its own FilterUnit).
+  [[nodiscard]] std::size_t num_cores() const noexcept { return config_.num_cores; }
+
   /// Clear all counters and filters (e.g. between experiment repetitions).
   void reset() noexcept;
 
@@ -140,5 +144,16 @@ class FilterUnit {
   std::vector<BitVector> cf_;            // per-core Core Filters
   std::vector<BitVector> lf_;            // per-core Last Filters
 };
+
+/// Symbiosis of an RBV against a core monitored by a DIFFERENT FilterUnit
+/// (another L2 cluster). The two filters index disjoint caches, so the
+/// footprints cannot overlap by construction and popcount(RBV XOR CF)
+/// reduces to popcount(RBV) + popcount(CF) — maximal symbiosis, which is
+/// exactly right: processes in different clusters do not contend for cache
+/// space at all. @p other_weight is the other unit's core_filter_weight().
+[[nodiscard]] inline std::size_t disjoint_symbiosis(const BitVector& rbv,
+                                                    std::size_t other_weight) noexcept {
+  return rbv.popcount() + other_weight;
+}
 
 }  // namespace symbiosis::sig

@@ -61,6 +61,53 @@ TEST(Determinism, SweepIsIdenticalForAnyWorkerCount) {
   }
 }
 
+/// Scaled-down clustered machine: 8 cores in 4 clusters of 2, each cluster
+/// sharing a tiny L2 with its own signature unit, all under one shared
+/// SRRIP L3 — the non-degenerate graph, end to end, kept small enough that
+/// four sweeps finish in seconds. (Phase 1 requires mixes of num_cores
+/// distinct benchmarks, so the 8-wide mix below is the largest shape the
+/// 12-entry SPEC pool supports with headroom.)
+PipelineConfig tiny_clustered_pipeline() {
+  PipelineConfig c;
+  c.machine.hierarchy.num_cores = 8;
+  c.machine.hierarchy.l1 = {1024, 2, 64};
+  c.machine.hierarchy.l2 = {8 * 1024, 4, 64};
+  c.machine.hierarchy.l2_clusters = 4;
+  c.machine.hierarchy.l3 = cachesim::CacheGeometry{64 * 1024, 16, 64};
+  c.machine.quantum_cycles = 100'000;
+  c.sync_scale();
+  c.scale.length_scale = 0.02;
+  c.allocator_period_cycles = 500'000;
+  c.emulation_cycles = 2'000'000;
+  c.measure_max_cycles = 100'000'000;
+  return c;
+}
+
+TEST(Determinism, ClusteredSweepIsIdenticalForAnyWorkerCount) {
+  // The per-cluster filters, shared L3 and the schema-v2 per-level stats
+  // must all be worker-count invariant. MappingRun equality covers
+  // run.levels, so the per-level counters are pinned too.
+  const std::vector<std::string> pool = {"perlbench", "bzip2", "gcc",   "mcf",
+                                         "gobmk",     "hmmer", "sjeng", "libquantum"};
+  const PipelineConfig config = tiny_clustered_pipeline();
+  const SweepResult serial = run_sweep(config, pool, 8, 1);
+  ASSERT_FALSE(serial.outcomes.empty());
+  for (const auto& outcome : serial.outcomes) {
+    for (const auto& run : outcome.mappings) {
+      ASSERT_FALSE(run.levels.empty()) << "non-degenerate runs must carry per-level stats";
+      EXPECT_EQ(run.levels.back().level, "l3");
+    }
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool_of(workers);
+    const SweepResult threaded = run_sweep(config, pool, 8, 1, false, &pool_of);
+    ASSERT_EQ(threaded.mixes, serial.mixes) << workers << " workers";
+    EXPECT_EQ(threaded.outcomes, serial.outcomes) << workers << " workers";
+    EXPECT_EQ(threaded.summary, serial.summary) << workers << " workers";
+  }
+}
+
 TEST(Determinism, RepeatedSerialRunsAreIdentical) {
   const PipelineConfig config = tiny_pipeline();
   const SweepResult a = run_sweep(config, kTinyPool, 2, 1);

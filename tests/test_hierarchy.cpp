@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 
 namespace symbiosis::cachesim {
 namespace {
@@ -198,6 +199,50 @@ TEST(Hierarchy, ResetStatsMidRunKeepsPublishedMetricsMonotone) {
   const std::uint64_t miss_mark = l2_miss.value();
   h.publish_metrics();
   EXPECT_EQ(l2_miss.value(), miss_mark);
+}
+
+TEST(Hierarchy, ResetStatsMidRunKeepsL3MetricsMonotone) {
+  // The L1/L2 wraparound regression extended to the third level: an L3 left
+  // out of reset_stats()'s re-baselining would publish a 2^64-ish delta on
+  // the next publish_metrics(). Uses a 2-cluster + L3 topology so the L3
+  // counters actually move.
+  HierarchyConfig cfg = tiny_config();
+  cfg.num_cores = 4;
+  cfg.l2_clusters = 2;
+  cfg.l3 = CacheGeometry{16 * 1024, 8, 64};
+  Hierarchy h(cfg);
+  ASSERT_TRUE(h.has_l3());
+  obs::Counter& l3_miss = obs::counter("cachesim.l3.miss");
+  obs::Counter& l3_hit = obs::counter("cachesim.l3.hit");
+
+  for (int i = 0; i < 200; ++i) h.access(i % 4, static_cast<Addr>(i) * 4096, false);
+  h.publish_metrics();
+  const std::uint64_t miss_before = l3_miss.value();
+  const std::uint64_t hit_before = l3_hit.value();
+  ASSERT_GT(h.level_stats("l3").accesses, 0u);
+
+  h.reset_stats();
+  EXPECT_EQ(h.level_stats("l3"), LevelStats{});
+
+  for (int i = 0; i < 10; ++i) h.access(0, static_cast<Addr>(i) * 4096, false);
+  h.publish_metrics();
+
+  EXPECT_GE(l3_miss.value(), miss_before);
+  EXPECT_LE(l3_miss.value() - miss_before, 10u);
+  EXPECT_GE(l3_hit.value(), hit_before);
+  EXPECT_LE(l3_hit.value() - hit_before, 10u);
+
+  // Reset + publish with no traffic publishes zero L3 delta.
+  h.reset_stats();
+  const std::uint64_t miss_mark = l3_miss.value();
+  h.publish_metrics();
+  EXPECT_EQ(l3_miss.value(), miss_mark);
+}
+
+TEST(Hierarchy, LevelStatsRejectsUnknownLevel) {
+  Hierarchy h(tiny_config());
+  const util::ScopedCheckMode guard(util::CheckMode::Throw);
+  EXPECT_THROW((void)h.level_stats("l4"), util::CheckError);
 }
 
 TEST(Hierarchy, FullResetAlsoRebaselinesPublisher) {

@@ -93,10 +93,104 @@ TEST(Replacement, ResetRestartsState) {
 
 TEST(Replacement, NameRoundTrip) {
   for (const auto kind : {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random,
-                          ReplacementKind::TreePlru}) {
+                          ReplacementKind::TreePlru, ReplacementKind::Srrip}) {
     EXPECT_EQ(parse_replacement(to_string(kind)), kind);
   }
   EXPECT_THROW((void)parse_replacement("mru"), std::invalid_argument);
+}
+
+TEST(Replacement, SrripInsertsDistantAndPromotesOnHit) {
+  // 4 ways, SRRIP-HP: fills land at RRPV kMax-1, so with no hits the victim
+  // rotation is way 0, 1, 2, 3 (aging makes all distant, lowest way wins).
+  auto policy = make_replacement(ReplacementKind::Srrip, 1, 4);
+  for (std::size_t w = 0; w < 4; ++w) policy->on_fill(0, w);
+  EXPECT_EQ(policy->victim(0), 0u);
+  policy->on_fill(0, 0);
+  EXPECT_EQ(policy->victim(0), 1u);
+  policy->on_fill(0, 1);
+  // A hit resets way 2 to RRPV 0: it now outlives ways 3 (still aged to max
+  // from the earlier scans) and the fresh fills.
+  policy->on_touch(0, 2);
+  EXPECT_EQ(policy->victim(0), 3u);
+  policy->on_fill(0, 3);
+  EXPECT_NE(policy->victim(0), 2u) << "the recently hit way must not be the next victim";
+}
+
+TEST(Replacement, SrripVictimAgesUntilOneIsDistant) {
+  auto policy = make_replacement(ReplacementKind::Srrip, 1, 2);
+  policy->on_fill(0, 0);
+  policy->on_fill(0, 1);
+  policy->on_touch(0, 0);  // way 0 -> RRPV 0, way 1 stays at 2
+  // Victim scan must age both until way 1 reaches max first.
+  EXPECT_EQ(policy->victim(0), 1u);
+  policy->on_fill(0, 1);
+  // Way 0 was aged by one during that scan but remains closer than way 1.
+  EXPECT_EQ(policy->victim(0), 1u);
+}
+
+TEST(Replacement, SrripResetRestartsDistant) {
+  auto policy = make_replacement(ReplacementKind::Srrip, 1, 4);
+  for (std::size_t w = 0; w < 4; ++w) policy->on_fill(0, w);
+  policy->on_touch(0, 2);
+  policy->reset();
+  // All RRPVs back at max: the victim is the lowest way again.
+  EXPECT_EQ(policy->victim(0), 0u);
+}
+
+TEST(Replacement, VictimInFullRangeIsBitIdenticalToVictim) {
+  // The victim_in(set, 0, ways) contract: bit-identical to victim(set) for
+  // EVERY policy, including the RNG draw sequence of Random — this is what
+  // lets unpartitioned caches route through the range path with zero drift.
+  // Twin instances (same seed) absorb the state mutation victim()/victim_in()
+  // may perform (Random advances its RNG, SRRIP ages).
+  const std::size_t sets = 4, ways = 8;
+  for (const auto kind : {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random,
+                          ReplacementKind::TreePlru, ReplacementKind::Srrip}) {
+    auto a = make_replacement(kind, sets, ways, 99);
+    auto b = make_replacement(kind, sets, ways, 99);
+    util::Rng rng(17);
+    for (std::size_t set = 0; set < sets; ++set) {
+      for (std::size_t w = 0; w < ways; ++w) {
+        a->on_fill(set, w);
+        b->on_fill(set, w);
+      }
+    }
+    for (int step = 0; step < 3000; ++step) {
+      const std::size_t set = rng.next_below(sets);
+      if (rng.next_bool(0.5)) {
+        const std::size_t w = rng.next_below(ways);
+        a->on_touch(set, w);
+        b->on_touch(set, w);
+      } else {
+        const std::size_t va = a->victim(set);
+        const std::size_t vb = b->victim_in(set, 0, ways);
+        ASSERT_EQ(va, vb) << to_string(kind) << " step " << step;
+        a->on_fill(set, va);
+        b->on_fill(set, vb);
+      }
+    }
+  }
+}
+
+TEST(Replacement, VictimInRespectsSubRanges) {
+  // Deterministic policies confined to [begin, end) must never name a
+  // victim outside it, for every contiguous sub-range.
+  const std::size_t ways = 8;
+  for (const auto kind :
+       {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::Random,
+        ReplacementKind::Srrip}) {
+    auto policy = make_replacement(kind, 1, ways, 5);
+    for (std::size_t w = 0; w < ways; ++w) policy->on_fill(0, w);
+    util::Rng rng(23);
+    for (int step = 0; step < 1000; ++step) {
+      const std::size_t begin = rng.next_below(ways);
+      const std::size_t end = begin + 1 + rng.next_below(ways - begin);
+      const std::size_t v = policy->victim_in(0, begin, end);
+      ASSERT_GE(v, begin) << to_string(kind);
+      ASSERT_LT(v, end) << to_string(kind);
+      policy->on_fill(0, v);
+    }
+  }
 }
 
 }  // namespace

@@ -154,6 +154,111 @@ TEST(Report, OnlineReportValidates) {
   EXPECT_FALSE(without.find("baseline"));
 }
 
+// --- schema v2 (non-degenerate topologies) ---------------------------------
+
+/// tiny_pipeline() on the clustered graph: 4 cores in 2 clusters + L3.
+PipelineConfig clustered_pipeline() {
+  PipelineConfig c = tiny_pipeline();
+  c.machine.hierarchy.num_cores = 4;
+  c.machine.hierarchy.l2_clusters = 2;
+  c.machine.hierarchy.l3 = cachesim::CacheGeometry{64 * 1024, 16, 64};
+  return c;
+}
+
+TEST(Report, DegenerateTopologyStampsLegacyVersionAndNoGraphFields) {
+  // The two legacy testbeds keep the v1 document byte-for-byte: version 1,
+  // no cluster/L3/partition machine fields, no per-mapping levels.
+  const obs::Json report = build_mix_report(tiny_pipeline(), synthetic_outcome());
+  EXPECT_TRUE(validate_report(report).empty());
+  EXPECT_EQ(report.at("schema_version").as_u64(), kLegacyReportSchemaVersion);
+  const obs::Json& machine = report.at("config").at("machine");
+  EXPECT_FALSE(machine.find("l2_clusters"));
+  EXPECT_FALSE(machine.find("l3_bytes"));
+  EXPECT_FALSE(machine.find("topology"));
+  EXPECT_FALSE(machine.find("l2_way_partition"));
+  const obs::Json& mapping = report.at("outcome").at("mappings").as_array()[0];
+  EXPECT_FALSE(mapping.find("levels"));
+}
+
+TEST(Report, ClusteredTopologyStampsV2WithGraphFieldsAndLevels) {
+  MixOutcome outcome = synthetic_outcome();
+  for (auto& run : outcome.mappings) {
+    run.levels = {{"l1", {100, 80, 20, 5}}, {"l2", {20, 12, 8, 2}}, {"l3", {8, 6, 2, 0}}};
+  }
+  const obs::Json report = build_mix_report(clustered_pipeline(), outcome);
+  EXPECT_TRUE(validate_report(report).empty());
+  EXPECT_EQ(report.at("schema_version").as_u64(), kReportSchemaVersion);
+
+  const obs::Json& machine = report.at("config").at("machine");
+  EXPECT_EQ(machine.at("l2_clusters").as_u64(), 2u);
+  EXPECT_EQ(machine.at("l3_bytes").as_u64(), 64u * 1024);
+  EXPECT_EQ(machine.at("l3_ways").as_u64(), 16u);
+  EXPECT_EQ(machine.at("l3_replacement").as_string(), "srrip");
+  EXPECT_NE(machine.at("topology").as_string().find("2x"), std::string::npos);
+
+  const obs::Json& mapping = report.at("outcome").at("mappings").as_array()[0];
+  const obs::Json& levels = mapping.at("levels");
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels.as_array()[0].at("level").as_string(), "l1");
+  EXPECT_EQ(levels.as_array()[0].at("hits").as_u64(), 80u);
+  EXPECT_EQ(levels.as_array()[2].at("level").as_string(), "l3");
+  EXPECT_EQ(levels.as_array()[2].at("evictions").as_u64(), 0u);
+}
+
+TEST(Report, WayPartitionsAppearInMachineConfig) {
+  PipelineConfig c = clustered_pipeline();
+  c.machine.hierarchy.l2_way_partition.ways_per_group = {2, 2};
+  c.machine.hierarchy.l3_way_partition.ways_per_group = {8, 8};
+  const obs::Json report = build_mix_report(c, synthetic_outcome());
+  EXPECT_TRUE(validate_report(report).empty());
+  const obs::Json& machine = report.at("config").at("machine");
+  ASSERT_TRUE(machine.find("l2_way_partition"));
+  EXPECT_EQ(machine.at("l2_way_partition").size(), 2u);
+  EXPECT_EQ(machine.at("l2_way_partition").as_array()[0].as_u64(), 2u);
+  EXPECT_EQ(machine.at("l3_way_partition").as_array()[1].as_u64(), 8u);
+}
+
+TEST(Report, ValidatorChecksLevelEntries) {
+  MixOutcome outcome = synthetic_outcome();
+  outcome.mappings[0].levels = {{"l1", {10, 8, 2, 0}}};
+  obs::Json report = build_mix_report(clustered_pipeline(), outcome);
+  ASSERT_TRUE(validate_report(report).empty());
+
+  // Corrupt one level entry: drop its "misses" member.
+  obs::Json out = report.at("outcome");
+  obs::Json mappings = out.at("mappings");
+  obs::Json mapping = mappings.as_array()[0];
+  obs::Json levels = obs::Json::array();
+  obs::Json entry = obs::Json::object();
+  entry.set("level", obs::Json("l1"));
+  entry.set("accesses", obs::Json(std::uint64_t{10}));
+  entry.set("hits", obs::Json(std::uint64_t{8}));
+  entry.set("evictions", obs::Json(std::uint64_t{0}));
+  levels.push_back(std::move(entry));
+  mapping.set("levels", std::move(levels));
+  obs::Json fixed_mappings = obs::Json::array();
+  fixed_mappings.push_back(std::move(mapping));
+  for (std::size_t i = 1; i < mappings.size(); ++i) {
+    fixed_mappings.push_back(mappings.as_array()[i]);
+  }
+  out.set("mappings", std::move(fixed_mappings));
+  report.set("outcome", std::move(out));
+
+  const auto problems = validate_report(report);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("misses"), std::string::npos);
+}
+
+TEST(Report, ValidatorAcceptsBothSchemaVersions) {
+  obs::Json report = build_mix_report(tiny_pipeline(), synthetic_outcome());
+  report.set("schema_version", obs::Json(kReportSchemaVersion));
+  EXPECT_TRUE(validate_report(report).empty());
+  report.set("schema_version", obs::Json(kLegacyReportSchemaVersion));
+  EXPECT_TRUE(validate_report(report).empty());
+  report.set("schema_version", obs::Json(std::uint64_t{3}));
+  EXPECT_EQ(validate_report(report).size(), 1u);
+}
+
 // --- golden report --------------------------------------------------------
 
 TEST(GoldenReport, FixedSeedSweepMatchesCommittedGolden) {
