@@ -1,0 +1,78 @@
+// Micro-benchmarks of the .symt v2 trace frontend: raw varint decode
+// throughput and full decode+replay through the 2-level degenerate
+// hierarchy. The trace is L1-resident (stride-64 loop inside an 8 KiB
+// window per thread) so the numbers isolate the frontend, not DRAM.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "workload/replayer.hpp"
+#include "workload/symt.hpp"
+
+namespace {
+
+using namespace symbiosis;
+
+/// A purely memory-record trace: @p threads threads, each looping a 64-byte
+/// stride over its own 8 KiB window (128 lines — resident in any L1).
+std::vector<std::uint8_t> l1_resident_image(std::size_t threads, std::size_t refs_per_thread) {
+  workload::SymtWriter writer(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const cachesim::Addr base = (static_cast<cachesim::Addr>(t) + 1) << 32;
+    for (std::size_t i = 0; i < refs_per_thread; ++i) {
+      writer.append_mem(t, base + (i % 128) * 64, (i & 7) == 0);
+    }
+  }
+  return writer.finish();
+}
+
+void BM_TraceDecode(benchmark::State& state) {
+  // Decode-only: stream every record of every thread through the cursor's
+  // batched path into a chunk buffer. items_per_second = decoded refs/s,
+  // bytes_per_second = wire-format GB/s.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t refs = 1 << 16;
+  const auto image = l1_resident_image(threads, refs);
+  const workload::SymtTrace trace = workload::SymtTrace::from_buffer(image);
+  std::vector<cachesim::MemRef> buf(4096);
+  std::vector<std::uint32_t> gaps(4096);
+  for (auto _ : state) {
+    std::uint64_t decoded = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workload::SymtCursor cursor(trace, t);
+      while (!cursor.done()) {
+        decoded += cursor.decode_mem_run(buf.data(), gaps.data(), buf.size());
+      }
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * threads * refs));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * image.size()));
+}
+BENCHMARK(BM_TraceDecode)->Arg(1)->Arg(4);
+
+void BM_TraceReplay(benchmark::State& state) {
+  // The headline decode+replay number: full TraceReplayer rounds (chunked
+  // decode, round-robin visits, access_batch application) on the 2-level
+  // degenerate hierarchy. The hierarchy stays warm across iterations so
+  // steady-state is all L1 hits; replay_trace makes a fresh replayer per
+  // call. items_per_second = replayed refs/s.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t refs = 1 << 16;
+  const auto image = l1_resident_image(threads, refs);
+  const workload::SymtTrace trace = workload::SymtTrace::from_buffer(image);
+  cachesim::HierarchyConfig cfg;
+  cfg.signature.enabled = false;
+  cachesim::Hierarchy h(cfg);
+  workload::ReplayOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::replay_trace(trace, h, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * threads * refs));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * image.size()));
+}
+BENCHMARK(BM_TraceReplay)->Arg(1)->Arg(4);
+
+}  // namespace

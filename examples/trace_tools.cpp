@@ -4,18 +4,30 @@
 //   roundtrip  record a workload's reference stream, replay it twice through
 //              identical machines, and verify the replays are cycle-identical
 //              (the default when no subcommand is given);
+//   convert    produce a .symt v2 trace from synthetic generators (--mix /
+//              --benchmark), from the text format (--text), or from a legacy
+//              v1 trace (--v1); --verify proves generator conversions replay
+//              bit-identically to direct generation;
+//   replay     replay a .symt through a fresh hierarchy, print the summary,
+//              optionally emit a kind="trace_replay" run report (--report);
 //   inspect    summarize a run report JSON (kind, config, outcome counts) or
 //              print the value at a --path like "outcomes.0.chosen";
 //   diff       field-by-field comparison of two run reports, ignoring the
 //              volatile "timings"/"metrics" sections unless --all;
-//   validate   check a report against the symbiosis.run_report schema.
+//   validate   check a report against the symbiosis.run_report schema, or —
+//              when the file starts with the SYMT magic — structurally
+//              validate a .symt trace (--stats prints the summary).
 //
 //   ./trace_tools roundtrip [--benchmark mcf] [--refs 200000] [--out f.symt]
+//   ./trace_tools convert --mix mcf,libquantum --refs 100000 --out mix.symt --verify
+//   ./trace_tools convert --text app.trace --out app.symt
+//   ./trace_tools replay mix.symt [--cores 2] [--chunk 4096] [--workers 4]
 //   ./trace_tools inspect report.json [--path summary.0.name]
 //   ./trace_tools diff a.json b.json [--all]
-//   ./trace_tools validate report.json
+//   ./trace_tools validate report.json | trace.symt [--stats]
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -24,7 +36,12 @@
 #include "obs/json.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
+#include "workload/replayer.hpp"
+#include "workload/symt.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
+#include "workload/trace_text.hpp"
 
 namespace {
 
@@ -88,6 +105,172 @@ int cmd_roundtrip(int argc, char** argv) {
     return 1;
   }
   std::printf("\nreplays are cycle-identical: trace-driven runs are exactly reproducible.\n");
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print_symt_stats(const workload::SymtTrace& trace, const workload::SymtStats& stats) {
+  util::TextTable table({"field", "value"});
+  table.add_row({"threads", std::to_string(stats.threads)});
+  table.add_row({"records", std::to_string(stats.records)});
+  table.add_row({"mem refs", std::to_string(stats.mem_refs)});
+  table.add_row({"writes", std::to_string(stats.writes)});
+  char ratio[32];
+  std::snprintf(ratio, sizeof ratio, "%.3f", stats.write_ratio());
+  table.add_row({"write ratio", ratio});
+  table.add_row({"sync events", std::to_string(stats.sync_events)});
+  table.add_row({"barriers", std::to_string(stats.barriers)});
+  table.add_row({"lock ops", std::to_string(stats.locks)});
+  table.add_row({"signals", std::to_string(stats.signals)});
+  table.add_row({"waits", std::to_string(stats.waits)});
+  table.add_row({"footprint lines", std::to_string(stats.footprint_lines)});
+  table.add_row({"footprint KiB", std::to_string(stats.footprint_lines * 64 / 1024)});
+  table.add_row({"payload bytes", std::to_string(trace.payload_bytes())});
+  if (stats.mem_refs > 0) {
+    char bpr[32];
+    std::snprintf(bpr, sizeof bpr, "%.2f",
+                  static_cast<double>(trace.payload_bytes()) /
+                      static_cast<double>(stats.records));
+    table.add_row({"bytes/record", bpr});
+  }
+  table.print();
+}
+
+int cmd_convert(int argc, char** argv) {
+  util::ArgParser args("trace_tools convert", "produce a .symt v2 trace");
+  auto& mix = args.add_string("mix", "comma-separated pool programs, one thread each", "");
+  auto& benchmark = args.add_string("benchmark", "single pool program (1-thread trace)", "");
+  auto& text = args.add_string("text", "text-format trace file to convert", "");
+  auto& v1 = args.add_string("v1", "legacy v1 trace file to convert", "");
+  auto& out = args.add_string("out", "output .symt path", "");
+  auto& refs = args.add_u64("refs", "references per thread (generator sources)", 100'000);
+  auto& seed = args.add_u64("seed", "RNG seed (generator sources)", 42);
+  auto& verify = args.add_flag("verify", "prove replay == direct generation (generators only)");
+  auto& chunk = args.add_u64("chunk", "replay chunk size for --verify", 4096);
+  auto& cores = args.add_u64("cores", "simulated cores for --verify", 2);
+  if (!args.parse(argc, argv)) return 1;
+  if (out.empty()) {
+    std::fprintf(stderr, "convert: --out is required\n");
+    return 1;
+  }
+  const int sources = (!mix.empty() ? 1 : 0) + (!benchmark.empty() ? 1 : 0) +
+                      (!text.empty() ? 1 : 0) + (!v1.empty() ? 1 : 0);
+  if (sources != 1) {
+    std::fprintf(stderr, "convert: exactly one of --mix/--benchmark/--text/--v1 required\n");
+    return 1;
+  }
+
+  std::vector<std::uint8_t> image;
+  std::vector<std::string> names;
+  if (!mix.empty() || !benchmark.empty()) {
+    names = mix.empty() ? std::vector<std::string>{benchmark} : split_csv(mix);
+    image = workload::symt_from_benchmarks(names, refs, seed);
+  } else if (!text.empty()) {
+    image = workload::symt_from_text(workload::parse_text_trace_file(text));
+  } else {
+    // Legacy v1 single-stream trace: one thread, gaps preserved.
+    workload::SymtWriter writer(1);
+    for (const workload::Step& step : workload::read_trace(v1)) {
+      writer.append_mem(0, step.addr, step.is_write, step.compute_instr);
+    }
+    image = writer.finish();
+  }
+
+  {
+    std::ofstream file(out, std::ios::binary);
+    if (!file) throw std::runtime_error("convert: cannot open " + out);
+    file.write(reinterpret_cast<const char*>(image.data()),
+               static_cast<std::streamsize>(image.size()));
+    if (!file) throw std::runtime_error("convert: write failed: " + out);
+  }
+
+  const workload::SymtTrace trace = workload::SymtTrace::open(out);
+  const workload::SymtStats stats = workload::collect_stats(trace);
+  std::printf("wrote %s: %llu threads, %llu records, %zu bytes (%.2f bytes/record)\n",
+              out.c_str(), static_cast<unsigned long long>(stats.threads),
+              static_cast<unsigned long long>(stats.records), trace.file_bytes(),
+              stats.records ? static_cast<double>(trace.payload_bytes()) /
+                                  static_cast<double>(stats.records)
+                            : 0.0);
+
+  if (verify) {
+    if (names.empty()) {
+      std::fprintf(stderr, "convert: --verify needs a generator source (--mix/--benchmark)\n");
+      return 1;
+    }
+    cachesim::HierarchyConfig hconfig;
+    hconfig.num_cores = cores;
+    cachesim::Hierarchy replayed(hconfig);
+    cachesim::Hierarchy generated(hconfig);
+    workload::ReplayOptions options;
+    options.chunk = chunk;
+    const workload::ReplayResult result = workload::replay_trace(trace, replayed, options);
+    const cachesim::BatchSummary direct =
+        workload::replay_generated(names, refs, seed, generated, chunk);
+    if (!(result.totals == direct)) {
+      std::printf("FAIL: trace replay diverged from direct generation\n");
+      return 1;
+    }
+    std::printf("verify: trace replay is bit-identical to direct generation "
+                "(%llu accesses, %llu cycles)\n",
+                static_cast<unsigned long long>(result.totals.accesses),
+                static_cast<unsigned long long>(result.totals.cycles));
+  }
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  util::ArgParser args("trace_tools replay", "replay a .symt trace through a hierarchy");
+  auto& cores = args.add_u64("cores", "simulated cores", 2);
+  auto& chunk = args.add_u64("chunk", "references per thread visit", 4096);
+  auto& workers = args.add_u64("workers", "decode worker threads (0 = serial)", 0);
+  auto& report_path = args.add_string("report", "write a trace_replay run report here", "");
+  if (!args.parse(argc, argv)) return 1;
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: trace_tools replay <trace.symt> [--cores N] [--chunk N]\n");
+    return 1;
+  }
+
+  const workload::SymtTrace trace = workload::SymtTrace::open(args.positional().front());
+  const workload::SymtStats stats = workload::collect_stats(trace);
+
+  cachesim::HierarchyConfig hconfig;
+  hconfig.num_cores = cores;
+  cachesim::Hierarchy hierarchy(hconfig);
+  workload::ReplayOptions options;
+  options.chunk = chunk;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers > 0) {
+    pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(workers));
+    options.pool = pool.get();
+  }
+  const workload::ReplayResult result = workload::replay_trace(trace, hierarchy, options);
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"accesses", std::to_string(result.totals.accesses)});
+  table.add_row({"cycles", std::to_string(result.totals.cycles)});
+  table.add_row({"L1 hits", std::to_string(result.totals.l1_hits)});
+  table.add_row({"L2 hits", std::to_string(result.totals.l2_hits)});
+  table.add_row({"TLB hits", std::to_string(result.totals.tlb_hits)});
+  table.add_row({"rounds", std::to_string(result.rounds)});
+  table.add_row({"sync events", std::to_string(result.sync_events)});
+  table.print();
+
+  if (!report_path.empty()) {
+    const obs::Json report = core::build_trace_replay_report(
+        hconfig, trace.path(), stats, result, chunk, workers);
+    core::write_report_file(report, report_path);
+    std::printf("report written to %s\n", report_path.c_str());
+  }
   return 0;
 }
 
@@ -165,12 +348,35 @@ int cmd_diff(int argc, char** argv) {
   return 1;
 }
 
+/// True when @p path starts with the SYMT magic (either trace version).
+bool sniff_symt(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, 4);
+  return in.gcount() == 4 && magic[0] == 'S' && magic[1] == 'Y' && magic[2] == 'M' &&
+         magic[3] == 'T';
+}
+
 int cmd_validate(int argc, char** argv) {
-  util::ArgParser args("trace_tools validate", "check a report against the schema");
+  util::ArgParser args("trace_tools validate", "check a run report or a .symt trace");
+  auto& want_stats = args.add_flag("stats", "print the trace summary (.symt inputs)");
   if (!args.parse(argc, argv)) return 1;
   if (args.positional().size() != 1) {
-    std::fprintf(stderr, "usage: trace_tools validate <report.json>\n");
+    std::fprintf(stderr, "usage: trace_tools validate <report.json | trace.symt> [--stats]\n");
     return 1;
+  }
+
+  if (sniff_symt(args.positional().front())) {
+    // SymtTrace::open validates header/version/thread table; collect_stats
+    // fully decodes every payload, so corruption anywhere is caught here.
+    const workload::SymtTrace trace = workload::SymtTrace::open(args.positional().front());
+    const workload::SymtStats stats = workload::collect_stats(trace);
+    std::printf("valid .symt v%llu trace: %llu threads, %llu records\n",
+                static_cast<unsigned long long>(workload::kSymtVersion),
+                static_cast<unsigned long long>(stats.threads),
+                static_cast<unsigned long long>(stats.records));
+    if (want_stats) print_symt_stats(trace, stats);
+    return 0;
   }
 
   const obs::Json report = load_json(args.positional().front());
@@ -192,6 +398,8 @@ int cmd_validate(int argc, char** argv) {
 int main(int argc, char** argv) {
   const std::string sub = argc > 1 ? argv[1] : "";
   try {
+    if (sub == "convert") return cmd_convert(argc - 1, argv + 1);
+    if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
     if (sub == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (sub == "diff") return cmd_diff(argc - 1, argv + 1);
     if (sub == "validate") return cmd_validate(argc - 1, argv + 1);

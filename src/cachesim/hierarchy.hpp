@@ -121,6 +121,18 @@ struct BatchSummary {
   std::uint64_t stream_prefetched = 0;
 
   [[nodiscard]] bool operator==(const BatchSummary&) const noexcept = default;
+
+  /// Accumulate another batch (trace replay sums per-chunk summaries).
+  BatchSummary& operator+=(const BatchSummary& other) noexcept {
+    accesses += other.accesses;
+    cycles += other.cycles;
+    l1_hits += other.l1_hits;
+    l2_hits += other.l2_hits;
+    l3_hits += other.l3_hits;
+    tlb_hits += other.tlb_hits;
+    stream_prefetched += other.stream_prefetched;
+    return *this;
+  }
 };
 
 /// Aggregate counters of one cache level (all caches of that level summed);

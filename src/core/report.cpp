@@ -247,6 +247,79 @@ obs::Json build_online_report(const OnlineConfig& config, const OnlineRun& onlin
   return report;
 }
 
+obs::Json build_trace_replay_report(const cachesim::HierarchyConfig& machine,
+                                    const std::string& trace_path,
+                                    const workload::SymtStats& stats,
+                                    const workload::ReplayResult& result, std::size_t chunk,
+                                    std::size_t workers, const obs::PhaseTimings& timings) {
+  obs::Json report = obs::Json::object();
+  report.set("schema", obs::Json(kReportSchema));
+  const bool degenerate = machine.topology().degenerate();
+  report.set("schema_version",
+             obs::Json(degenerate ? kLegacyReportSchemaVersion : kReportSchemaVersion));
+  report.set("kind", obs::Json("trace_replay"));
+
+  obs::Json machine_json = obs::Json::object();
+  machine_json.set("cores", obs::Json(static_cast<std::uint64_t>(machine.num_cores)));
+  machine_json.set("l1_bytes", obs::Json(static_cast<std::uint64_t>(machine.l1.size_bytes)));
+  machine_json.set("l2_bytes", obs::Json(static_cast<std::uint64_t>(machine.l2.size_bytes)));
+  machine_json.set("line_bytes", obs::Json(static_cast<std::uint64_t>(machine.l1.line_bytes)));
+  machine_json.set("shared_l2", obs::Json(machine.shared_l2));
+  if (!degenerate) {
+    machine_json.set("topology", obs::Json(machine.topology().describe()));
+  }
+  obs::Json config = obs::Json::object();
+  config.set("seed", obs::Json(machine.seed));
+  config.set("allocator", obs::Json("none"));
+  config.set("machine", std::move(machine_json));
+  report.set("config", std::move(config));
+
+  obs::Json trace = obs::Json::object();
+  trace.set("path", obs::Json(trace_path));
+  trace.set("threads", obs::Json(stats.threads));
+  trace.set("records", obs::Json(stats.records));
+  trace.set("mem_refs", obs::Json(stats.mem_refs));
+  trace.set("writes", obs::Json(stats.writes));
+  trace.set("write_ratio", obs::Json(stats.write_ratio()));
+  trace.set("sync_events", obs::Json(stats.sync_events));
+  trace.set("footprint_lines", obs::Json(stats.footprint_lines));
+  report.set("trace", std::move(trace));
+
+  obs::Json totals = obs::Json::object();
+  totals.set("accesses", obs::Json(result.totals.accesses));
+  totals.set("cycles", obs::Json(result.totals.cycles));
+  totals.set("l1_hits", obs::Json(result.totals.l1_hits));
+  totals.set("l2_hits", obs::Json(result.totals.l2_hits));
+  totals.set("l3_hits", obs::Json(result.totals.l3_hits));
+  totals.set("tlb_hits", obs::Json(result.totals.tlb_hits));
+  totals.set("stream_prefetched", obs::Json(result.totals.stream_prefetched));
+
+  obs::Json threads = obs::Json::array();
+  for (const auto& t : result.threads) {
+    obs::Json entry = obs::Json::object();
+    entry.set("mem_refs", obs::Json(t.mem_refs));
+    entry.set("barriers", obs::Json(t.barriers));
+    entry.set("lock_acquires", obs::Json(t.lock_acquires));
+    entry.set("lock_releases", obs::Json(t.lock_releases));
+    entry.set("signals", obs::Json(t.signals));
+    entry.set("waits", obs::Json(t.waits));
+    entry.set("blocked_visits", obs::Json(t.blocked_visits));
+    threads.push_back(std::move(entry));
+  }
+
+  obs::Json replay = obs::Json::object();
+  replay.set("chunk", obs::Json(static_cast<std::uint64_t>(chunk)));
+  replay.set("workers", obs::Json(static_cast<std::uint64_t>(workers)));
+  replay.set("rounds", obs::Json(result.rounds));
+  replay.set("sync_events", obs::Json(result.sync_events));
+  replay.set("totals", std::move(totals));
+  replay.set("threads", std::move(threads));
+  report.set("replay", std::move(replay));
+
+  close_envelope(report, timings);
+  return report;
+}
+
 namespace {
 
 /// Validation helpers accumulating problems instead of throwing: the CLI
@@ -386,6 +459,34 @@ std::vector<std::string> validate_report(const obs::Json& report) {
     }
   } else if (kind_name == "online") {
     require_member(report, "online", "object", problems);
+  } else if (kind_name == "trace_replay") {
+    require_member(report, "trace", "object", problems);
+    require_member(report, "replay", "object", problems);
+    const obs::Json* trace = report.find("trace");
+    if (trace && trace->is_object()) {
+      require_member(*trace, "path", "string", problems);
+      for (const auto* key : {"threads", "records", "mem_refs", "sync_events"}) {
+        require_member(*trace, key, "number", problems);
+      }
+    }
+    const obs::Json* replay = report.find("replay");
+    if (replay && replay->is_object()) {
+      require_member(*replay, "rounds", "number", problems);
+      require_member(*replay, "totals", "object", problems);
+      require_member(*replay, "threads", "array", problems);
+      if (const obs::Json* totals = replay->find("totals")) {
+        if (totals->is_object()) {
+          require_member(*totals, "accesses", "number", problems);
+          require_member(*totals, "cycles", "number", problems);
+        }
+      }
+      const obs::Json* rthreads = replay->find("threads");
+      const obs::Json* tthreads = trace && trace->is_object() ? trace->find("threads") : nullptr;
+      if (rthreads && rthreads->is_array() && tthreads && tthreads->is_number() &&
+          rthreads->size() != tthreads->as_u64()) {
+        problems.push_back("replay.threads length disagrees with trace.threads");
+      }
+    }
   } else if (!kind_name.empty()) {
     problems.push_back("kind: unknown report kind \"" + kind_name + "\"");
   }

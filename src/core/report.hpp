@@ -22,6 +22,8 @@
 #include "core/online.hpp"
 #include "obs/json.hpp"
 #include "obs/stopwatch.hpp"
+#include "workload/replayer.hpp"
+#include "workload/symt.hpp"
 
 namespace symbiosis::core {
 
@@ -66,6 +68,17 @@ inline constexpr std::uint64_t kLegacyReportSchemaVersion = 1;
 [[nodiscard]] obs::Json build_online_report(const OnlineConfig& config, const OnlineRun& online,
                                             const OnlineRun* baseline = nullptr,
                                             const obs::PhaseTimings& timings = {});
+
+/// Report for a .symt trace replay (kind = "trace_replay"): a "trace"
+/// stanza describing the input (path, threads, records, footprint, r/w
+/// ratio) and a "replay" stanza with the hierarchy totals and per-thread
+/// replay stats. Deterministic for a fixed trace + machine + chunk, so the
+/// replay-determinism regression compares two of these with the volatile
+/// sections ("metrics", "timings") excluded — same policy as golden reports.
+[[nodiscard]] obs::Json build_trace_replay_report(
+    const cachesim::HierarchyConfig& machine, const std::string& trace_path,
+    const workload::SymtStats& stats, const workload::ReplayResult& result, std::size_t chunk,
+    std::size_t workers, const obs::PhaseTimings& timings = {});
 
 /// Structural validation: schema/version stamp, required sections, member
 /// types, cross-field consistency (chosen index in range, user_cycles

@@ -38,6 +38,17 @@ TaskId Machine::add_thread(std::unique_ptr<workload::TaskStream> stream, std::si
   return id;
 }
 
+std::vector<TaskId> Machine::add_process(const workload::TraceSource& source,
+                                         std::size_t affinity) {
+  const std::size_t pid = next_pid_++;
+  std::vector<TaskId> ids;
+  ids.reserve(source.num_threads());
+  for (std::size_t t = 0; t < source.num_threads(); ++t) {
+    ids.push_back(add_thread(source.make_stream(t), pid, affinity));
+  }
+  return ids;
+}
+
 void Machine::set_affinity(TaskId id, std::size_t core) {
   task(id).set_affinity(core);
   scheduler_.set_affinity(id, core);

@@ -26,6 +26,7 @@
 #include "machine/config.hpp"
 #include "machine/scheduler.hpp"
 #include "machine/task.hpp"
+#include "workload/trace_source.hpp"
 
 namespace symbiosis::machine {
 
@@ -49,6 +50,12 @@ class Machine {
   /// Add one thread of a multi-threaded process (@p pid groups threads).
   TaskId add_thread(std::unique_ptr<workload::TaskStream> stream, std::size_t pid,
                     std::size_t affinity = Task::kAnyCore);
+
+  /// Admit a whole process described by @p source (synthetic generator or
+  /// .symt trace): one task per source thread, all sharing a fresh pid.
+  /// Returns the TaskIds in source-thread order.
+  std::vector<TaskId> add_process(const workload::TraceSource& source,
+                                  std::size_t affinity = Task::kAnyCore);
 
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] Task& task(TaskId id) { return *tasks_.at(id); }

@@ -58,9 +58,18 @@ std::vector<Step> read_trace(const std::string& path) {
   char magic[4];
   std::uint32_t version = 0;
   std::uint64_t count = 0;
-  if (std::fread(magic, 1, 4, file) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
-      std::fread(&version, sizeof version, 1, file) != 1 || version != kVersion ||
-      std::fread(&count, sizeof count, 1, file) != 1) {
+  if (std::fread(magic, 1, 4, file) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(file);
+    throw std::runtime_error("read_trace: bad header in " + path);
+  }
+  if (std::fread(&version, sizeof version, 1, file) != 1 || version != kVersion) {
+    std::fclose(file);
+    // Version 2 is the multi-threaded varint format (workload/symt.hpp).
+    throw std::runtime_error("read_trace: unsupported version " + std::to_string(version) +
+                             " in " + path + " (this reader handles version " +
+                             std::to_string(kVersion) + " only)");
+  }
+  if (std::fread(&count, sizeof count, 1, file) != 1) {
     std::fclose(file);
     throw std::runtime_error("read_trace: bad header in " + path);
   }

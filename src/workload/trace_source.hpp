@@ -1,0 +1,130 @@
+// trace_source.hpp — one interface for "where do a process's steps come
+// from": synthetic generators or .symt trace files.
+//
+// The Machine consumes TaskStreams; a TraceSource is the factory that
+// describes one PROCESS (possibly multi-threaded) and mints one TaskStream
+// per thread. Machine::add_process() walks any source, so drivers switch a
+// run between synthetic generation and trace replay by swapping the source,
+// nothing else:
+//
+//   SyntheticSource mcf(make_spec_benchmark("mcf"), base, seed);   // 1 thread
+//   SymtSource trace(std::make_shared<SymtTrace>(SymtTrace::open(p)), "app");
+//   machine.add_process(mcf);      // identical call shape
+//   machine.add_process(trace);    // one task per trace thread, shared pid
+//
+// SymtSource streams yield Step{gap, addr, is_write} from the thread's
+// records. Synchronization records are NOT enforceable on this path (a
+// TaskStream cannot block the machine's scheduler), so they are skipped and
+// counted; sync-faithful replay is workload/replayer.hpp's job. Converted
+// single-threaded synthetic traces carry no sync records, which is what
+// makes generator→convert→machine replay bit-identical to direct
+// generation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark_model.hpp"
+#include "workload/symt.hpp"
+
+namespace symbiosis::workload {
+
+/// A (possibly multi-threaded) process workload a Machine can admit.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::size_t num_threads() const = 0;
+  /// Mint the TaskStream for @p thread (fresh state each call).
+  [[nodiscard]] virtual std::unique_ptr<TaskStream> make_stream(std::size_t thread) const = 0;
+};
+
+/// Synthetic generator as a single-threaded source: every make_stream(0)
+/// yields an identically seeded Workload, so repeated runs reproduce.
+class SyntheticSource final : public TraceSource {
+ public:
+  SyntheticSource(BenchmarkSpec spec, Addr base, std::uint64_t seed)
+      : spec_(std::move(spec)), base_(base), seed_(seed) {}
+
+  [[nodiscard]] const std::string& name() const override { return spec_.name; }
+  [[nodiscard]] std::size_t num_threads() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<TaskStream> make_stream(std::size_t thread) const override;
+
+  [[nodiscard]] const BenchmarkSpec& spec() const noexcept { return spec_; }
+
+ private:
+  BenchmarkSpec spec_;
+  Addr base_;
+  std::uint64_t seed_;
+};
+
+/// TaskStream over one thread of a shared SymtTrace. Sync records are
+/// skipped (counted in skipped_syncs()); see the header comment.
+class SymtTaskStream final : public TaskStream {
+ public:
+  SymtTaskStream(std::shared_ptr<const SymtTrace> trace, std::size_t thread, std::string name);
+
+  [[nodiscard]] Step next() override;
+  [[nodiscard]] bool complete() const override { return issued_ >= total_refs_; }
+  void restart() override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t refs_issued() const override { return issued_; }
+  [[nodiscard]] std::uint64_t total_refs() const override { return total_refs_; }
+
+  [[nodiscard]] std::uint64_t skipped_syncs() const noexcept { return skipped_syncs_; }
+
+ private:
+  std::shared_ptr<const SymtTrace> trace_;
+  std::size_t thread_;
+  std::string name_;
+  SymtCursor cursor_;
+  std::uint64_t total_refs_ = 0;  ///< memory records only
+  std::uint64_t issued_ = 0;
+  std::uint64_t skipped_syncs_ = 0;
+  Step last_{};
+};
+
+/// A .symt file as a process: one TaskStream per trace thread.
+class SymtSource final : public TraceSource {
+ public:
+  /// @param trace shared so minted streams outlive the source safely.
+  SymtSource(std::shared_ptr<const SymtTrace> trace, std::string name);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t num_threads() const override { return trace_->num_threads(); }
+  [[nodiscard]] std::unique_ptr<TaskStream> make_stream(std::size_t thread) const override;
+
+  [[nodiscard]] const SymtTrace& trace() const noexcept { return *trace_; }
+
+ private:
+  std::shared_ptr<const SymtTrace> trace_;
+  std::string name_;
+};
+
+// --- converters ------------------------------------------------------------
+
+/// Record @p refs steps of @p stream into writer thread @p thread,
+/// preserving compute gaps. Returns the number of steps recorded.
+std::uint64_t record_stream(SymtWriter& writer, std::size_t thread, TaskStream& stream,
+                            std::uint64_t refs);
+
+/// Convert a mix of pool benchmarks to a multi-threaded .symt image: thread
+/// i carries @p refs_per_thread references of benchmark names[i] generated
+/// at machine-style disjoint base addresses with per-thread split seeds.
+[[nodiscard]] std::vector<std::uint8_t> symt_from_benchmarks(
+    const std::vector<std::string>& names, std::uint64_t refs_per_thread, std::uint64_t seed,
+    const ScaleConfig& scale = {});
+
+/// Direct-generation twin of replaying symt_from_benchmarks(...) with
+/// TraceReplayer{chunk}: applies the same streams to @p hierarchy in the
+/// same round-robin chunk interleaving WITHOUT going through the codec.
+/// The trace-conformance suite and `trace_tools convert --verify` pin
+/// generator→.symt→replay bit-identical to this.
+cachesim::BatchSummary replay_generated(const std::vector<std::string>& names,
+                                        std::uint64_t refs_per_thread, std::uint64_t seed,
+                                        cachesim::Hierarchy& hierarchy, std::size_t chunk,
+                                        const ScaleConfig& scale = {});
+
+}  // namespace symbiosis::workload

@@ -1,0 +1,140 @@
+#include "workload/trace_text.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace symbiosis::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("line " + std::to_string(line_no) + ": " + what);
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line_no, const char* what) {
+  if (token.empty()) fail(line_no, std::string("missing ") + what);
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    const int base = token.size() > 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')
+                         ? 16
+                         : 10;
+    value = std::stoull(token, &consumed, base);
+  } catch (const std::exception&) {
+    fail(line_no, std::string("bad ") + what + " '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    fail(line_no, std::string("bad ") + what + " '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+TextTrace parse_text_trace(std::istream& in) {
+  TextTrace text;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t max_tid = 0;
+  std::vector<bool> seen;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+
+    std::istringstream fields(line);
+    std::string tid_token, op;
+    if (!(fields >> tid_token)) continue;  // blank / comment-only line
+    if (!(fields >> op)) fail(line_no, "missing operation after thread id");
+
+    const std::uint64_t tid64 = parse_u64(tid_token, line_no, "thread id");
+    if (tid64 >= kSymtMaxThreads) fail(line_no, "thread id " + tid_token + " out of range");
+    const auto tid = static_cast<std::size_t>(tid64);
+    if (tid >= text.per_thread.size()) {
+      text.per_thread.resize(tid + 1);
+      seen.resize(tid + 1, false);
+    }
+    seen[tid] = true;
+    if (tid > max_tid) max_tid = tid;
+
+    SymtRecord rec;
+    std::string a, b, extra;
+    if (op == "R" || op == "W") {
+      if (!(fields >> a)) fail(line_no, "missing address");
+      rec.op = op == "W" ? SymtOp::Write : SymtOp::Read;
+      rec.addr = parse_u64(a, line_no, "address");
+      if (fields >> b) {
+        const std::uint64_t gap = parse_u64(b, line_no, "gap");
+        if (gap > UINT32_MAX) fail(line_no, "gap '" + b + "' exceeds 32 bits");
+        rec.gap = static_cast<std::uint32_t>(gap);
+      }
+    } else if (op == "barrier") {
+      if (!(fields >> a)) fail(line_no, "missing barrier id");
+      rec.op = SymtOp::Barrier;
+      rec.arg = parse_u64(a, line_no, "barrier id");
+    } else if (op == "lock" || op == "unlock") {
+      if (!(fields >> a)) fail(line_no, "missing lock id");
+      rec.op = op == "lock" ? SymtOp::LockAcquire : SymtOp::LockRelease;
+      rec.arg = parse_u64(a, line_no, "lock id");
+    } else if (op == "signal") {
+      if (!(fields >> a)) fail(line_no, "missing event id");
+      rec.op = SymtOp::Signal;
+      rec.arg = parse_u64(a, line_no, "event id");
+    } else if (op == "wait") {
+      if (!(fields >> a)) fail(line_no, "missing event id");
+      if (!(fields >> b)) fail(line_no, "missing partner thread id");
+      rec.op = SymtOp::Wait;
+      rec.arg = parse_u64(a, line_no, "event id");
+      const std::uint64_t partner = parse_u64(b, line_no, "partner thread id");
+      if (partner >= kSymtMaxThreads) fail(line_no, "partner thread '" + b + "' out of range");
+      rec.partner = static_cast<std::uint32_t>(partner);
+    } else {
+      fail(line_no, "unknown operation '" + op + "'");
+    }
+    if (fields >> extra) fail(line_no, "trailing token '" + extra + "'");
+    text.per_thread[tid].push_back(rec);
+  }
+
+  if (text.per_thread.empty()) {
+    throw std::runtime_error("text trace contains no records");
+  }
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    if (!seen[t]) {
+      throw std::runtime_error("thread ids are not dense: thread " + std::to_string(t) +
+                               " never appears but thread " + std::to_string(max_tid) + " does");
+    }
+  }
+  // Wait partners checked after the thread count is known.
+  for (std::size_t t = 0; t < text.per_thread.size(); ++t) {
+    for (const SymtRecord& rec : text.per_thread[t]) {
+      if (rec.op == SymtOp::Wait && rec.partner >= text.per_thread.size()) {
+        throw std::runtime_error("thread " + std::to_string(t) + " waits on thread " +
+                                 std::to_string(rec.partner) + " but only " +
+                                 std::to_string(text.per_thread.size()) + " threads exist");
+      }
+    }
+  }
+  return text;
+}
+
+TextTrace parse_text_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open text trace '" + path + "'");
+  try {
+    return parse_text_trace(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<std::uint8_t> symt_from_text(const TextTrace& text) {
+  SymtWriter writer(text.threads());
+  for (std::size_t t = 0; t < text.per_thread.size(); ++t) {
+    for (const SymtRecord& rec : text.per_thread[t]) writer.append(t, rec);
+  }
+  return writer.finish();
+}
+
+}  // namespace symbiosis::workload

@@ -1,0 +1,46 @@
+// trace_text.hpp — the simple line-oriented text trace format and its
+// converter to .symt (trace_tools convert --text).
+//
+// One record per line, fields whitespace-separated, '#' starts a comment,
+// blank lines ignored. Thread ids must be dense (0..T-1, any order of
+// appearance). Addresses accept 0x-hex or decimal.
+//
+//   <tid> R <addr> [gap]        read, optional compute gap
+//   <tid> W <addr> [gap]        write
+//   <tid> barrier <id>
+//   <tid> lock <id>
+//   <tid> unlock <id>
+//   <tid> signal <event>
+//   <tid> wait <event> <partner-tid>
+//
+// Parse errors carry the 1-based line number and offending text.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/symt.hpp"
+
+namespace symbiosis::workload {
+
+/// Records of one text trace, grouped per thread in stream order.
+struct TextTrace {
+  /// per_thread[t] = thread t's records, in file order.
+  std::vector<std::vector<SymtRecord>> per_thread;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return per_thread.size(); }
+};
+
+/// Parse the text format; throws std::runtime_error("line N: ...") on any
+/// malformed line, non-dense thread ids, or out-of-range wait partners.
+[[nodiscard]] TextTrace parse_text_trace(std::istream& in);
+
+/// Convenience: parse a file by path.
+[[nodiscard]] TextTrace parse_text_trace_file(const std::string& path);
+
+/// Encode a parsed text trace as a .symt v2 image.
+[[nodiscard]] std::vector<std::uint8_t> symt_from_text(const TextTrace& text);
+
+}  // namespace symbiosis::workload

@@ -1,0 +1,169 @@
+// reference_replayer.hpp — naive, obviously-correct .symt replay oracle.
+//
+// Replays a trace one record at a time through Hierarchy::access() with the
+// SAME visit policy as workload::TraceReplayer (rounds of round-robin
+// visits; a visit applies up to `chunk` consecutive memory records or
+// retires one sync event) but none of its machinery: records are fully
+// decoded up front into plain vectors, application is single-reference, and
+// the sync state is a handful of maps. The differential suite pins
+// TraceReplayer (chunked decode, batched application, optional parallel
+// decoding) to be bit-identical to this at every chunk size.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "workload/replayer.hpp"
+#include "workload/symt.hpp"
+
+namespace symbiosis::testing_support {
+
+inline workload::ReplayResult reference_replay(const workload::SymtTrace& trace,
+                                               cachesim::Hierarchy& hierarchy,
+                                               std::size_t chunk) {
+  if (chunk == 0) throw std::invalid_argument("reference_replay: zero chunk");
+  const std::size_t n = trace.num_threads();
+
+  // Fully decode every thread up front — the naive part.
+  std::vector<std::vector<workload::SymtRecord>> records(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    workload::SymtCursor cursor(trace, t);
+    workload::SymtRecord rec;
+    while (cursor.next(rec)) records[t].push_back(rec);
+  }
+
+  workload::ReplayResult result;
+  result.threads.resize(n);
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<bool> arrived(n, false);
+  std::map<std::uint64_t, std::size_t> lock_owner;
+  std::map<std::pair<std::uint64_t, std::size_t>, std::uint64_t> signal_count;
+  std::map<std::tuple<std::uint64_t, std::size_t, std::size_t>, std::uint64_t> wait_consumed;
+  std::size_t barrier_arrivals = 0;
+  std::uint64_t barrier_id = 0;
+
+  auto exhausted = [&](std::size_t t) { return idx[t] >= records[t].size() && !arrived[t]; };
+
+  auto visit = [&](std::size_t t) -> bool {
+    auto& stats = result.threads[t];
+    if (!arrived[t] && idx[t] < records[t].size() && records[t][idx[t]].is_mem()) {
+      // Apply up to `chunk` consecutive memory records, one access at a time.
+      const std::size_t core = t % hierarchy.num_cores();
+      std::size_t applied = 0;
+      while (applied < chunk && idx[t] < records[t].size() && records[t][idx[t]].is_mem()) {
+        const workload::SymtRecord& rec = records[t][idx[t]];
+        const cachesim::MemAccessResult r =
+            hierarchy.access(core, rec.addr, rec.op == workload::SymtOp::Write);
+        ++result.totals.accesses;
+        result.totals.cycles += r.cycles;
+        result.totals.l1_hits += r.l1_hit ? 1 : 0;
+        result.totals.l2_hits += r.l2_hit ? 1 : 0;
+        result.totals.l3_hits += r.l3_hit ? 1 : 0;
+        result.totals.tlb_hits += r.tlb_hit ? 1 : 0;
+        result.totals.stream_prefetched += r.stream_prefetched ? 1 : 0;
+        ++stats.mem_refs;
+        ++idx[t];
+        ++applied;
+      }
+      return true;
+    }
+    if (idx[t] >= records[t].size() && !arrived[t]) return false;  // exhausted
+
+    const workload::SymtRecord& sync = records[t][idx[t]];
+    auto trace_error = [&](const std::string& what) {
+      throw std::runtime_error("replay: thread " + std::to_string(t) + ": " + what);
+    };
+    switch (sync.op) {
+      case workload::SymtOp::Barrier: {
+        if (!arrived[t]) {
+          if (barrier_arrivals == 0) {
+            barrier_id = sync.arg;
+          } else if (sync.arg != barrier_id) {
+            trace_error("barrier id mismatch");
+          }
+          arrived[t] = true;
+          ++barrier_arrivals;
+          ++stats.barriers;
+          ++result.sync_events;
+        }
+        if (barrier_arrivals < n) {
+          ++stats.blocked_visits;
+          return false;
+        }
+        for (std::size_t u = 0; u < n; ++u) {
+          if (arrived[u]) {
+            arrived[u] = false;
+            ++idx[u];
+          }
+        }
+        barrier_arrivals = 0;
+        return true;
+      }
+      case workload::SymtOp::LockAcquire: {
+        const auto it = lock_owner.find(sync.arg);
+        if (it != lock_owner.end()) {
+          if (it->second == t) trace_error("recursive acquire");
+          ++stats.blocked_visits;
+          return false;
+        }
+        lock_owner.emplace(sync.arg, t);
+        ++stats.lock_acquires;
+        ++result.sync_events;
+        ++idx[t];
+        return true;
+      }
+      case workload::SymtOp::LockRelease: {
+        const auto it = lock_owner.find(sync.arg);
+        if (it == lock_owner.end() || it->second != t) trace_error("release without hold");
+        lock_owner.erase(it);
+        ++stats.lock_releases;
+        ++result.sync_events;
+        ++idx[t];
+        return true;
+      }
+      case workload::SymtOp::Signal: {
+        ++signal_count[{sync.arg, t}];
+        ++stats.signals;
+        ++result.sync_events;
+        ++idx[t];
+        return true;
+      }
+      case workload::SymtOp::Wait: {
+        const std::size_t partner = sync.partner;
+        if (partner >= n) trace_error("wait on nonexistent thread");
+        const auto sig = signal_count.find({sync.arg, partner});
+        const std::uint64_t available = sig == signal_count.end() ? 0 : sig->second;
+        std::uint64_t& consumed = wait_consumed[{sync.arg, partner, t}];
+        if (available <= consumed) {
+          ++stats.blocked_visits;
+          return false;
+        }
+        ++consumed;
+        ++stats.waits;
+        ++result.sync_events;
+        ++idx[t];
+        return true;
+      }
+      default: trace_error("memory record on the sync path");
+    }
+    return false;
+  };
+
+  for (;;) {
+    bool all_done = true;
+    for (std::size_t t = 0; t < n; ++t) all_done &= exhausted(t);
+    if (all_done) break;
+    ++result.rounds;
+    bool progress = false;
+    for (std::size_t t = 0; t < n; ++t) progress |= visit(t);
+    if (!progress) throw std::runtime_error("replay: deadlock — no thread can make progress");
+  }
+  return result;
+}
+
+}  // namespace symbiosis::testing_support
