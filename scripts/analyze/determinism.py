@@ -38,7 +38,10 @@ Checkers
             (parallel_for, parallel_for_sharded, submit) a by-reference
             captured Rng may only be .split() -- mutating a shared generator
             across task boundaries makes the draw sequence schedule-
-            dependent.
+            dependent. Generators declared inside the task body are fine,
+            including ones assigned from a .split() substream without a
+            spelled-out Rng type (`auto rng = base.split(i)` -- the
+            run_sweep_grid sharding shape).
   waiver    waiver hygiene: malformed `// symdet:` comments, waivers that
             suppress nothing, inline waivers missing from the committed
             registry, and registry entries matching no inline waiver.
@@ -573,6 +576,11 @@ def _check_rng_shared(scan: FileScan, rng_vars: set[str]) -> list[Finding]:
                 esc = re.escape(name)
                 if re.search(rf"\bRng\b[^;()]*?\b{esc}\s*[=({{;]", body):
                     continue  # declared inside the task body: per-task state
+                if re.search(rf"\b{esc}\s*=\s*[^;{{}}]*?\.\s*split\s*\(", body):
+                    # Assigned from a .split() substream inside the task (e.g.
+                    # `auto rng = base.split(i)` in run_sweep_grid's sharding):
+                    # per-shard derived state, the sanctioned pattern.
+                    continue
                 mutation = re.search(
                     rf"\b{esc}\s*\(|\b{esc}\s*(?:\.|->)\s*(?:{'|'.join(RNG_MUTATION_METHODS)})\s*\(",
                     body)

@@ -8,6 +8,13 @@ Usage:
 
   --tolerance FRAC   allowed fractional slowdown before failing (default 0.15;
                      CI runs with the default, see the perf-gate job)
+  --filter REGEX     restrict the gate to benchmarks whose name matches REGEX
+                     (re.search). In check mode, only matching run entries are
+                     gated and unmeasured-baseline warnings are limited to
+                     matching baseline entries; in update mode, baseline
+                     entries NOT matching the regex survive untouched while
+                     matching ones are rewritten from the runs. A regex that
+                     does not compile is a usage error (exit 2).
 
 `check` merges the benchmark entries of every run file (later files win on
 duplicate names), normalises all times to nanoseconds, and compares each
@@ -50,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -111,24 +119,32 @@ def load_run_benchmarks(paths: list[Path]) -> dict[str, float]:
     return merged
 
 
-def cmd_update(baseline_path: Path, runs: dict[str, float]) -> int:
+def cmd_update(baseline_path: Path, runs: dict[str, float],
+               name_filter: "re.Pattern[str] | None" = None) -> int:
     doc = load_baseline(baseline_path) if baseline_path.exists() else {}
     previous = doc.get("benchmarks", {}) if isinstance(doc.get("benchmarks"), dict) else {}
     benchmarks = {}
+    if name_filter is not None:
+        # Out-of-scope entries survive untouched: a filtered update re-baselines
+        # one suite without dropping (or perturbing) everything else.
+        for name, old in previous.items():
+            if not name_filter.search(name):
+                benchmarks[name] = old
     for name, ns in sorted(runs.items()):
         entry: dict = {"real_time_ns": round(ns, 2)}
         old = previous.get(name)
         if isinstance(old, dict) and "tolerance" in old:
             entry["tolerance"] = old["tolerance"]  # overrides survive re-baselining
         benchmarks[name] = entry
-    doc["benchmarks"] = benchmarks
+    doc["benchmarks"] = dict(sorted(benchmarks.items()))
     baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {len(runs)} baseline entries to {baseline_path}")
     print("review the diff and commit it with the change that moved the numbers")
     return 0
 
 
-def cmd_check(baseline_path: Path, runs: dict[str, float], default_tolerance: float) -> int:
+def cmd_check(baseline_path: Path, runs: dict[str, float], default_tolerance: float,
+              name_filter: "re.Pattern[str] | None" = None) -> int:
     doc = load_baseline(baseline_path)
     baseline_doc = doc.get("benchmarks", {})
     if not isinstance(baseline_doc, dict):
@@ -156,7 +172,10 @@ def cmd_check(baseline_path: Path, runs: dict[str, float], default_tolerance: fl
         else:
             print(f"  ok         {line}")
 
-    for name in sorted(set(baseline) - set(runs)):
+    unmeasured = set(baseline) - set(runs)
+    if name_filter is not None:
+        unmeasured = {name for name in unmeasured if name_filter.search(name)}
+    for name in sorted(unmeasured):
         print(f"  warning    {name}: in baseline but not measured by any run file")
 
     if regressions:
@@ -183,15 +202,31 @@ def main(argv: list[str]) -> int:
     parser.add_argument("baseline", type=Path)
     parser.add_argument("runs", type=Path, nargs="+")
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--filter", metavar="REGEX", default=None,
+                        help="gate only benchmarks whose name matches REGEX "
+                             "(re.search); update mode leaves non-matching "
+                             "baseline entries untouched")
     args = parser.parse_args(argv)
+
+    name_filter = None
+    if args.filter is not None:
+        try:
+            name_filter = re.compile(args.filter)
+        except re.error as exc:
+            fail_usage(f"bad --filter regex {args.filter!r}: {exc}")
 
     runs = load_run_benchmarks(args.runs)
     if not runs:
         print("no benchmark entries found in the run files", file=sys.stderr)
         return 1
+    if name_filter is not None:
+        runs = {name: ns for name, ns in runs.items() if name_filter.search(name)}
+        if not runs:
+            print(f"no benchmark entries match --filter {args.filter!r}", file=sys.stderr)
+            return 1
     if args.mode == "update":
-        return cmd_update(args.baseline, runs)
-    return cmd_check(args.baseline, runs, args.tolerance)
+        return cmd_update(args.baseline, runs, name_filter)
+    return cmd_check(args.baseline, runs, args.tolerance, name_filter)
 
 
 if __name__ == "__main__":

@@ -204,6 +204,56 @@ SweepResult run_sweep(const PipelineConfig& config, const std::vector<std::strin
   return result;
 }
 
+SweepGridResult run_sweep_grid(const PipelineConfig& config, const std::vector<std::string>& pool,
+                               std::size_t mix_size, std::size_t per_benchmark,
+                               const std::vector<std::string>& algorithms,
+                               std::size_t seed_replicates, bool multithreaded,
+                               util::ThreadPool* pool_threads) {
+  if (algorithms.empty()) throw std::invalid_argument("run_sweep_grid: no algorithms");
+  if (seed_replicates == 0) throw std::invalid_argument("run_sweep_grid: zero replicates");
+  SweepGridResult result;
+  result.mixes = sample_mixes(pool, mix_size, per_benchmark, config.seed);
+  result.cells.reserve(result.mixes.size() * algorithms.size() * seed_replicates);
+  for (std::size_t m = 0; m < result.mixes.size(); ++m) {
+    for (const auto& algorithm : algorithms) {
+      for (std::size_t r = 0; r < seed_replicates; ++r) {
+        result.cells.push_back(SweepCell{m, algorithm, r, config.seed});
+      }
+    }
+  }
+  SYMBIOSIS_LOG_INFO("run_sweep_grid: %zu cells (%zu mixes x %zu algorithms x %zu replicates)",
+                     result.cells.size(), result.mixes.size(), algorithms.size(),
+                     seed_replicates);
+  result.outcomes.resize(result.cells.size());
+
+  // Cells are independent experiments; each writes only cells[i]/outcomes[i]
+  // so the grid is identical for any worker count and any shard cut. `base`
+  // is shared by reference but only .split() (const) is ever called on it —
+  // replicate seeds come from per-cell substreams.
+  const util::Rng base(config.seed);
+  auto run_one = [&](std::size_t i) {
+    SweepCell& cell = result.cells[i];
+    PipelineConfig cell_config = config;
+    cell_config.allocator = cell.allocator;
+    if (cell.replicate != 0) {
+      util::Rng cell_rng = base.split(static_cast<std::uint64_t>(i));
+      cell_config.seed = cell_rng();
+      cell.seed = cell_config.seed;
+    }
+    result.outcomes[i] = multithreaded
+                             ? run_mix_experiment_mt(cell_config, result.mixes[cell.mix_index])
+                             : run_mix_experiment(cell_config, result.mixes[cell.mix_index]);
+  };
+  if (pool_threads) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, result.cells.size() / (pool_threads->size() * 4));
+    pool_threads->parallel_for_sharded(0, result.cells.size(), run_one, grain);
+  } else {
+    for (std::size_t i = 0; i < result.cells.size(); ++i) run_one(i);
+  }
+  return result;
+}
+
 std::vector<BenchmarkImprovement> sweep_pool(const PipelineConfig& config,
                                              const std::vector<std::string>& pool,
                                              std::size_t mix_size, std::size_t per_benchmark,

@@ -95,6 +95,41 @@ struct SweepResult {
                                     std::size_t per_benchmark, bool multithreaded = false,
                                     util::ThreadPool* pool_threads = nullptr);
 
+/// One (mix, allocator, seed-replicate) cell of a sweep grid.
+struct SweepCell {
+  std::size_t mix_index = 0;   ///< into SweepGridResult::mixes
+  std::string allocator;       ///< sched::make_allocator name
+  std::size_t replicate = 0;   ///< 0 = the configured seed, >0 = derived
+  std::uint64_t seed = 0;      ///< pipeline seed this cell ran with
+
+  [[nodiscard]] bool operator==(const SweepCell&) const = default;
+};
+
+/// Everything a grid sweep produced; outcomes[i] is cells[i]'s result.
+struct SweepGridResult {
+  std::vector<std::vector<std::string>> mixes;
+  std::vector<SweepCell> cells;
+  std::vector<MixOutcome> outcomes;
+
+  [[nodiscard]] bool operator==(const SweepGridResult&) const = default;
+};
+
+/// Sweep the full (mix × allocator × seed-replicate) grid: every cell is an
+/// independent experiment, sharded across @p pool_threads when non-null.
+/// Results land at their cell index and replicate r > 0 derives its
+/// pipeline seed from a per-cell substream of config.seed (util::Rng
+/// .split(cell), the sanctioned per-shard pattern), so the result is
+/// BIT-IDENTICAL for any worker count — the determinism suite pins this at
+/// 1/2/8 workers. Replicate 0 keeps config.seed itself, so a grid over
+/// {config.allocator} with one replicate reproduces run_sweep exactly.
+[[nodiscard]] SweepGridResult run_sweep_grid(const PipelineConfig& config,
+                                             const std::vector<std::string>& pool,
+                                             std::size_t mix_size, std::size_t per_benchmark,
+                                             const std::vector<std::string>& algorithms,
+                                             std::size_t seed_replicates = 1,
+                                             bool multithreaded = false,
+                                             util::ThreadPool* pool_threads = nullptr);
+
 /// Convenience driver for Figs 10–12: run_sweep, keep only the summary.
 [[nodiscard]] std::vector<BenchmarkImprovement> sweep_pool(
     const PipelineConfig& config, const std::vector<std::string>& pool, std::size_t mix_size,

@@ -97,20 +97,21 @@ void Machine::record_signature(std::size_t core, Task& task) {
   sample.core = core;
   sample.occupancy_weight = rbv.popcount();
   sample.symbiosis.resize(config_.hierarchy.num_cores);
+  // Own cluster in one batched kernel pass: the self core compares against
+  // the LF snapshot (co-residents' footprint), other same-cluster cores
+  // against their live CFs (§3.1 / filter_unit.hpp).
+  symbiosis_scratch_.resize(filter->num_cores());
+  filter->symbiosis_all(rbv, local, symbiosis_scratch_.data());
   for (std::size_t c = 0; c < config_.hierarchy.num_cores; ++c) {
     if (hierarchy_.cluster_of(c) == cluster) {
-      // Own core compares against the LF snapshot (co-residents' footprint);
-      // other same-cluster cores against their live CFs (§3.1 /
-      // filter_unit.hpp).
-      const std::size_t other_local = hierarchy_.local_core(c);
-      sample.symbiosis[c] = c == core ? filter->self_symbiosis(rbv, local)
-                                      : filter->symbiosis(rbv, other_local);
+      sample.symbiosis[c] = symbiosis_scratch_[hierarchy_.local_core(c)];
     } else {
       // Other cluster: that core's footprint lives in a different L2, so
-      // the footprints are disjoint by construction (filter_unit.hpp).
+      // the footprints are disjoint by construction (filter_unit.hpp); the
+      // RBV weight was already computed for the sample.
       const sig::FilterUnit* other = hierarchy_.filter_for_core(c);
-      sample.symbiosis[c] =
-          sig::disjoint_symbiosis(rbv, other->core_filter_weight(hierarchy_.local_core(c)));
+      sample.symbiosis[c] = sig::disjoint_symbiosis_from_weights(
+          sample.occupancy_weight, other->core_filter_weight(hierarchy_.local_core(c)));
     }
   }
   task.signature().record(sample);

@@ -130,6 +130,10 @@ class Machine {
   std::vector<std::unique_ptr<Task>> tasks_;
   std::size_t next_pid_ = 0;
 
+  /// Scratch for record_signature's batched per-cluster symbiosis pass
+  /// (avoids an allocation per context switch).
+  std::vector<std::size_t> symbiosis_scratch_;
+
   // per-core execution state
   std::vector<std::uint64_t> clock_;
   std::vector<TaskId> current_;

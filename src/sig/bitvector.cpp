@@ -1,7 +1,6 @@
 #include "sig/bitvector.hpp"
 
-#include <bit>
-
+#include "sig/kernels.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::sig {
@@ -32,35 +31,23 @@ void BitVector::reset() noexcept {
 }
 
 std::size_t BitVector::popcount() const noexcept {
-  std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return kernels::ops().popcount(words_.data(), words_.size());
 }
 
 std::size_t BitVector::xor_popcount(const BitVector& other) const noexcept {
   SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return total;
+  return kernels::ops().xor_popcount(words_.data(), other.words_.data(), words_.size());
 }
 
 std::size_t BitVector::and_popcount(const BitVector& other) const noexcept {
   SYM_DCHECK_EQ(bits_, other.bits_, "sig.bitvector") << "bit-vector width mismatch";
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return kernels::ops().and_popcount(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::assign_and_not(const BitVector& a, const BitVector& b) noexcept {
   SYM_DCHECK_EQ(bits_, a.bits_, "sig.bitvector") << "bit-vector width mismatch";
   SYM_DCHECK_EQ(bits_, b.bits_, "sig.bitvector") << "bit-vector width mismatch";
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = a.words_[i] & ~b.words_[i];
-  }
+  kernels::ops().and_not(words_.data(), a.words_.data(), b.words_.data(), words_.size());
 }
 
 void BitVector::assign(const BitVector& other) noexcept {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sig/kernels.hpp"
 #include "util/check.hpp"
 
 namespace symbiosis::sig {
@@ -13,12 +14,18 @@ CountingBloomFilter::CountingBloomFilter(std::size_t entries, unsigned counter_b
       counter_bits_(counter_bits),
       k_(k),
       max_value_(static_cast<std::uint16_t>((1u << counter_bits) - 1)),
-      counters_(entries, 0) {
+      entries_(entries),
+      packed_(counter_bits >= 1 && counter_bits <= 4) {
   if (counter_bits == 0 || counter_bits > 16) {
     throw std::invalid_argument("CountingBloomFilter: counter_bits must be in [1, 16]");
   }
   if (k == 0 || k > kMaxHashes) {
     throw std::invalid_argument("CountingBloomFilter: k must be in [1, 8]");
+  }
+  if (packed_) {
+    nibbles_.assign((entries + 1) / 2, 0);
+  } else {
+    counters_.assign(entries, 0);
   }
 }
 
@@ -45,8 +52,20 @@ BloomIndices CountingBloomFilter::indices_of(LineAddr line) const noexcept {
 }
 
 void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
+  if (packed_) {
+    for (unsigned i = 0; i < indices.count; ++i) {
+      const std::size_t idx = indices.idx[i];
+      SYM_DCHECK_BOUNDS(idx, entries_, "sig.cbf") << "hash index out of range";
+      std::uint8_t& slot = nibbles_[idx >> 1];
+      const unsigned shift = (idx & 1u) * 4u;
+      const std::uint8_t value = (slot >> shift) & 0x0fu;
+      if (value == 0) ++nonzero_;
+      if (value < max_value_) slot = static_cast<std::uint8_t>(slot + (1u << shift));
+    }
+    return;
+  }
   for (unsigned i = 0; i < indices.count; ++i) {
-    SYM_DCHECK_BOUNDS(indices.idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
+    SYM_DCHECK_BOUNDS(indices.idx[i], entries_, "sig.cbf") << "hash index out of range";
     auto& counter = counters_[indices.idx[i]];
     if (counter == 0) ++nonzero_;
     if (counter < max_value_) ++counter;  // saturate, never wrap
@@ -54,8 +73,25 @@ void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
 }
 
 void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
+  if (packed_) {
+    for (unsigned i = 0; i < indices.count; ++i) {
+      const std::size_t idx = indices.idx[i];
+      SYM_DCHECK_BOUNDS(idx, entries_, "sig.cbf") << "hash index out of range";
+      std::uint8_t& slot = nibbles_[idx >> 1];
+      const unsigned shift = (idx & 1u) * 4u;
+      const std::uint8_t value = (slot >> shift) & 0x0fu;
+      if (value == 0 || value == max_value_) continue;  // underflow / stuck-at-max
+      slot = static_cast<std::uint8_t>(slot - (1u << shift));
+      if (value == 1) {
+        SYM_DCHECK(nonzero_ > 0, "sig.cbf") << "nonzero_ bookkeeping underflow";
+        --nonzero_;
+      }
+    }
+    SYM_DCHECK_LE(nonzero_, entries_, "sig.cbf");
+    return;
+  }
   for (unsigned i = 0; i < indices.count; ++i) {
-    SYM_DCHECK_BOUNDS(indices.idx[i], counters_.size(), "sig.cbf") << "hash index out of range";
+    SYM_DCHECK_BOUNDS(indices.idx[i], entries_, "sig.cbf") << "hash index out of range";
     auto& counter = counters_[indices.idx[i]];
     if (counter == 0 || counter == max_value_) continue;  // underflow / stuck-at-max
     --counter;
@@ -64,7 +100,7 @@ void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
       --nonzero_;
     }
   }
-  SYM_DCHECK_LE(nonzero_, counters_.size(), "sig.cbf");
+  SYM_DCHECK_LE(nonzero_, entries_, "sig.cbf");
 }
 
 bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
@@ -73,28 +109,77 @@ bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
 
 bool CountingBloomFilter::maybe_contains(const BloomIndices& indices) const noexcept {
   for (unsigned i = 0; i < indices.count; ++i) {
-    if (counters_[indices.idx[i]] == 0) return false;
+    if (counter_value(indices.idx[i]) == 0) return false;
   }
   return true;
 }
 
 void CountingBloomFilter::reset() noexcept {
+  std::fill(nibbles_.begin(), nibbles_.end(), std::uint8_t{0});
   std::fill(counters_.begin(), counters_.end(), std::uint16_t{0});
   nonzero_ = 0;
 }
 
+void CountingBloomFilter::decay() noexcept {
+  if (packed_) {
+    const kernels::KernelOps& ops = kernels::ops();
+    ops.nibble_decay(nibbles_.data(), entries_, static_cast<std::uint8_t>(max_value_));
+    nonzero_ = entries_ - ops.nibble_count_eq(nibbles_.data(), entries_, 0);
+    return;
+  }
+  for (auto& counter : counters_) {
+    if (counter == 0 || counter == max_value_) continue;  // stuck-at-max, like remove()
+    if (--counter == 0) --nonzero_;
+  }
+}
+
+void CountingBloomFilter::merge_saturating(const CountingBloomFilter& other) {
+  SYM_CHECK_EQ(entries_, other.entries_, "sig.cbf") << "CBF entry-count mismatch";
+  SYM_CHECK_EQ(counter_bits_, other.counter_bits_, "sig.cbf") << "CBF counter-width mismatch";
+  if (packed_) {
+    const kernels::KernelOps& ops = kernels::ops();
+    ops.nibble_merge_saturating(nibbles_.data(), other.nibbles_.data(), entries_,
+                                static_cast<std::uint8_t>(max_value_));
+    nonzero_ = entries_ - ops.nibble_count_eq(nibbles_.data(), entries_, 0);
+    return;
+  }
+  for (std::size_t i = 0; i < entries_; ++i) {
+    const std::uint32_t sum = static_cast<std::uint32_t>(counters_[i]) + other.counters_[i];
+    if (counters_[i] == 0 && sum > 0) ++nonzero_;
+    counters_[i] = static_cast<std::uint16_t>(std::min<std::uint32_t>(sum, max_value_));
+  }
+}
+
+std::uint16_t CountingBloomFilter::counter_at(std::size_t i) const {
+  if (i >= entries_) throw std::out_of_range("CountingBloomFilter::counter_at");
+  return counter_value(i);
+}
+
 void CountingBloomFilter::validate() const {
   std::size_t nonzero = 0;
-  for (const auto counter : counters_) {
+  for (std::size_t i = 0; i < entries_; ++i) {
+    const std::uint16_t counter = counter_value(i);
     SYM_CHECK_LE(counter, max_value_, "sig.cbf") << "counter exceeds saturation value";
     if (counter != 0) ++nonzero;
   }
   SYM_CHECK_EQ(nonzero, nonzero_, "sig.cbf") << "cached nonzero count out of sync";
+  if (packed_ && (entries_ & 1) != 0) {
+    SYM_CHECK_EQ(nibbles_.back() >> 4, 0, "sig.cbf") << "padding nibble must stay zero";
+  }
+  if (packed_) {
+    // The bulk kernels must agree with the per-counter recount.
+    SYM_CHECK_EQ(entries_ - kernels::ops().nibble_count_eq(nibbles_.data(), entries_, 0),
+                 nonzero_, "sig.cbf")
+        << "nibble_count_eq disagrees with recount";
+  }
 }
 
 std::size_t CountingBloomFilter::saturated_count() const noexcept {
-  return static_cast<std::size_t>(
-      std::count(counters_.begin(), counters_.end(), max_value_));
+  if (packed_) {
+    return kernels::ops().nibble_count_eq(nibbles_.data(), entries_,
+                                          static_cast<std::uint8_t>(max_value_));
+  }
+  return static_cast<std::size_t>(std::count(counters_.begin(), counters_.end(), max_value_));
 }
 
 }  // namespace symbiosis::sig

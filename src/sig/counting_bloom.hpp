@@ -62,9 +62,26 @@ class CountingBloomFilter {
 
   void reset() noexcept;
 
-  [[nodiscard]] std::size_t entries() const noexcept { return counters_.size(); }
+  /// Age every counter one step: values strictly between 0 and the
+  /// saturation value are decremented; zero stays zero and a saturated
+  /// counter stays put (stuck-at-max, the same policy as remove()). Lets a
+  /// long-running monitor fade stale footprint information between
+  /// allocator epochs without a full reset. Runs as one bulk kernel pass
+  /// over the packed counter array (sig/kernels.hpp).
+  void decay() noexcept;
+
+  /// Saturating counter-wise union with @p other (same entries and counter
+  /// width): this[i] = min(this[i] + other[i], max). Combines two sampled
+  /// signature windows into one; also a bulk kernel pass when packed.
+  void merge_saturating(const CountingBloomFilter& other);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
   [[nodiscard]] unsigned counter_bits() const noexcept { return counter_bits_; }
   [[nodiscard]] unsigned hash_count() const noexcept { return k_; }
+  /// True when counters live in the packed nibble array (counter_bits <= 4,
+  /// which covers the paper's 3-bit configuration): two counters per byte,
+  /// low nibble = even index, enabling the bulk SIMD passes.
+  [[nodiscard]] bool packed() const noexcept { return packed_; }
 
   /// Number of non-zero counters (the CBF "occupancy weight" analogue).
   [[nodiscard]] std::size_t nonzero_count() const noexcept { return nonzero_; }
@@ -73,19 +90,29 @@ class CountingBloomFilter {
   /// correctly provisioned L per footnote 1 keeps this at zero).
   [[nodiscard]] std::size_t saturated_count() const noexcept;
 
-  [[nodiscard]] std::uint16_t counter_at(std::size_t i) const { return counters_.at(i); }
+  [[nodiscard]] std::uint16_t counter_at(std::size_t i) const;
 
   /// Full O(entries) consistency audit via SYM_CHECK: the cached nonzero
-  /// count matches a recount and no counter exceeds the saturation value.
-  /// Cheap enough for tests and periodic soak-run sweeps, too slow per-op.
+  /// count matches a recount, no counter exceeds the saturation value, and
+  /// the padding nibble of an odd packed array stays zero. Cheap enough
+  /// for tests and periodic soak-run sweeps, too slow per-op.
   void validate() const;
 
  private:
+  /// Current value of counter @p i, whichever store it lives in.
+  [[nodiscard]] std::uint16_t counter_value(std::size_t i) const noexcept {
+    return packed_ ? static_cast<std::uint16_t>((nibbles_[i >> 1] >> ((i & 1u) * 4u)) & 0x0fu)
+                   : counters_[i];
+  }
+
   IndexHash hash_;
   unsigned counter_bits_;
   unsigned k_;
   std::uint16_t max_value_;
-  std::vector<std::uint16_t> counters_;
+  std::size_t entries_;
+  bool packed_;                          ///< counter_bits_ <= 4: nibble storage
+  std::vector<std::uint8_t> nibbles_;    ///< packed counters, two per byte
+  std::vector<std::uint16_t> counters_;  ///< wide counters (counter_bits_ > 4)
   std::size_t nonzero_ = 0;
 };
 

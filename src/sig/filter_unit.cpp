@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "sig/kernels.hpp"
 #include "util/check.hpp"
 
 #include "util/bitops.hpp"
@@ -135,6 +136,34 @@ std::size_t FilterUnit::self_symbiosis(const BitVector& rbv, std::size_t core) c
   SYM_DCHECK_BOUNDS(core, lf_.size(), "sig.filter");
   SYM_DCHECK_EQ(rbv.size(), counters_.size(), "sig.filter") << "RBV width != filter entries";
   return rbv.xor_popcount(lf_[core]);
+}
+
+void FilterUnit::symbiosis_all(const BitVector& rbv, std::size_t self_core,
+                               std::size_t* out) const noexcept {
+  SYM_DCHECK_BOUNDS(self_core, cf_.size(), "sig.filter");
+  SYM_DCHECK_EQ(rbv.size(), counters_.size(), "sig.filter") << "RBV width != filter entries";
+  // Gather the per-core filter word pointers (LF for the self core, CF for
+  // the rest) in fixed-size chunks so the pointer table stays on the stack
+  // for any cluster width.
+  constexpr std::size_t kChunk = 64;
+  const std::uint64_t* ptrs[kChunk];
+  const std::uint64_t* rbv_words = rbv.words().data();
+  const std::size_t words = rbv.words().size();
+  for (std::size_t base = 0; base < cf_.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, cf_.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t core = base + i;
+      ptrs[i] = (core == self_core ? lf_[core] : cf_[core]).words().data();
+    }
+    kernels::ops().xor_popcount_many(rbv_words, ptrs, n, words, out + base);
+  }
+}
+
+std::vector<std::size_t> FilterUnit::symbiosis_all(const BitVector& rbv,
+                                                   std::size_t self_core) const {
+  std::vector<std::size_t> out(cf_.size());
+  symbiosis_all(rbv, self_core, out.data());
+  return out;
 }
 
 std::size_t FilterUnit::core_filter_weight(std::size_t core) const noexcept {

@@ -90,6 +90,18 @@ class FilterUnit {
   /// the self-core case; see DESIGN.md.)
   [[nodiscard]] std::size_t self_symbiosis(const BitVector& rbv, std::size_t core) const noexcept;
 
+  /// Batched per-core symbiosis: one call per scheduling decision instead
+  /// of num_cores() separate ones. @p out (length num_cores()) receives
+  /// self_symbiosis(rbv, c) at c == @p self_core (the LF comparison — the
+  /// co-residents' footprint) and symbiosis(rbv, c) everywhere else. The
+  /// filter word pointers are gathered once and handed to the kernel
+  /// layer's xor_popcount_many (sig/kernels.hpp).
+  void symbiosis_all(const BitVector& rbv, std::size_t self_core,
+                     std::size_t* out) const noexcept;
+  /// Vector-returning convenience form (tests / diagnostics).
+  [[nodiscard]] std::vector<std::size_t> symbiosis_all(const BitVector& rbv,
+                                                       std::size_t self_core) const;
+
   /// Occupancy weight of a core's CURRENT core filter (used by the Fig 2/5
   /// footprint-tracking experiment, which monitors CF ones over time).
   [[nodiscard]] std::size_t core_filter_weight(std::size_t core) const noexcept;
@@ -154,6 +166,14 @@ class FilterUnit {
 [[nodiscard]] inline std::size_t disjoint_symbiosis(const BitVector& rbv,
                                                     std::size_t other_weight) noexcept {
   return rbv.popcount() + other_weight;
+}
+
+/// disjoint_symbiosis() for a caller that already holds popcount(RBV) —
+/// e.g. as the signature sample's occupancy weight — so a loop over N
+/// remote cores pays for the RBV popcount once, not N times.
+[[nodiscard]] inline std::size_t disjoint_symbiosis_from_weights(
+    std::size_t rbv_weight, std::size_t other_weight) noexcept {
+  return rbv_weight + other_weight;
 }
 
 }  // namespace symbiosis::sig

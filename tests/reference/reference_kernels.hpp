@@ -493,4 +493,86 @@ class ReferenceTwoLevelHierarchy {
   return n;
 }
 
+// --- raw-word and packed-nibble references for the SIMD kernel layer
+// (sig/kernels.hpp): per-bit / per-nibble scans, no word tricks. Every
+// compiled backend is differentially tested against these on awkward
+// widths by tests/test_kernels.cpp.
+
+[[nodiscard]] inline std::size_t naive_word_popcount(const std::uint64_t* words, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned b = 0; b < 64; ++b) total += (words[i] >> b) & 1u;
+  }
+  return total;
+}
+
+[[nodiscard]] inline std::size_t naive_word_xor_popcount(const std::uint64_t* a,
+                                                         const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned bit = 0; bit < 64; ++bit) total += ((a[i] ^ b[i]) >> bit) & 1u;
+  }
+  return total;
+}
+
+[[nodiscard]] inline std::size_t naive_word_and_popcount(const std::uint64_t* a,
+                                                         const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned bit = 0; bit < 64; ++bit) total += ((a[i] & b[i]) >> bit) & 1u;
+  }
+  return total;
+}
+
+inline void naive_word_and_not(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t word = 0;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      const bool set = (((a[i] >> bit) & 1u) != 0) && (((b[i] >> bit) & 1u) == 0);
+      if (set) word |= std::uint64_t{1} << bit;
+    }
+    dst[i] = word;
+  }
+}
+
+/// Counter @p i of a packed nibble array (two per byte, low nibble first).
+[[nodiscard]] inline std::uint8_t naive_nibble_get(const std::vector<std::uint8_t>& packed,
+                                                   std::size_t i) {
+  return (packed.at(i / 2) >> ((i % 2) * 4)) & 0x0fu;
+}
+
+inline void naive_nibble_set(std::vector<std::uint8_t>& packed, std::size_t i,
+                             std::uint8_t value) {
+  const unsigned shift = (i % 2) * 4;
+  packed.at(i / 2) = static_cast<std::uint8_t>(
+      (packed.at(i / 2) & ~(0x0fu << shift)) | ((value & 0x0fu) << shift));
+}
+
+[[nodiscard]] inline std::size_t naive_nibble_count_eq(const std::vector<std::uint8_t>& packed,
+                                                       std::size_t nibbles, std::uint8_t value) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nibbles; ++i) total += naive_nibble_get(packed, i) == value;
+  return total;
+}
+
+inline void naive_nibble_merge_saturating(std::vector<std::uint8_t>& dst,
+                                          const std::vector<std::uint8_t>& src,
+                                          std::size_t nibbles, std::uint8_t max_value) {
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    const unsigned sum = naive_nibble_get(dst, i) + naive_nibble_get(src, i);
+    naive_nibble_set(dst, i, static_cast<std::uint8_t>(sum > max_value ? max_value : sum));
+  }
+}
+
+inline void naive_nibble_decay(std::vector<std::uint8_t>& packed, std::size_t nibbles,
+                               std::uint8_t max_value) {
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    const std::uint8_t value = naive_nibble_get(packed, i);
+    if (value != 0 && value != max_value) {
+      naive_nibble_set(packed, i, static_cast<std::uint8_t>(value - 1));
+    }
+  }
+}
+
 }  // namespace symbiosis::testref

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -129,6 +130,70 @@ TEST(Determinism, SeedSelectsTheMixSample) {
     EXPECT_FALSE(outcome.mappings.empty());
     EXPECT_LT(outcome.chosen, outcome.mappings.size());
   }
+}
+
+// --- sweep-grid sharding ---------------------------------------------------
+
+TEST(Determinism, GridSweepIsIdenticalForAnyWorkerCount) {
+  // The full (mix x allocator x seed-replicate) grid must be bit-identical
+  // for any worker count and any shard cut: cells land at their index and
+  // replicate seeds come from per-cell Rng substreams, not shared state.
+  const PipelineConfig config = tiny_pipeline();
+  const std::vector<std::string> algorithms = {"weighted-graph", "default"};
+  const SweepGridResult serial = run_sweep_grid(config, kTinyPool, 2, 1, algorithms, 2);
+  ASSERT_FALSE(serial.cells.empty());
+  ASSERT_EQ(serial.cells.size(), serial.mixes.size() * algorithms.size() * 2);
+  ASSERT_EQ(serial.outcomes.size(), serial.cells.size());
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool(workers);
+    const SweepGridResult threaded =
+        run_sweep_grid(config, kTinyPool, 2, 1, algorithms, 2, false, &pool);
+    ASSERT_EQ(threaded.mixes, serial.mixes) << workers << " workers";
+    EXPECT_EQ(threaded.cells, serial.cells) << workers << " workers";
+    EXPECT_EQ(threaded.outcomes, serial.outcomes) << workers << " workers";
+  }
+}
+
+TEST(Determinism, GridReplicateZeroReproducesRunSweep) {
+  // A grid over just {config.allocator} with one replicate is run_sweep by
+  // another name: replicate 0 keeps config.seed, so the outcomes must be
+  // bit-identical to the plain sweep over the same pool.
+  const PipelineConfig config = tiny_pipeline();
+  const SweepResult plain = run_sweep(config, kTinyPool, 2, 1);
+  const SweepGridResult grid = run_sweep_grid(config, kTinyPool, 2, 1, {config.allocator}, 1);
+  ASSERT_EQ(grid.mixes, plain.mixes);
+  ASSERT_EQ(grid.outcomes.size(), plain.outcomes.size());
+  EXPECT_EQ(grid.outcomes, plain.outcomes);
+  for (const auto& cell : grid.cells) {
+    EXPECT_EQ(cell.replicate, 0u);
+    EXPECT_EQ(cell.seed, config.seed) << "replicate 0 keeps the configured seed";
+  }
+}
+
+TEST(Determinism, GridReplicatesDeriveDistinctSeeds) {
+  const PipelineConfig config = tiny_pipeline();
+  const SweepGridResult grid = run_sweep_grid(config, kTinyPool, 2, 1, {"weighted-graph"}, 3);
+  std::unordered_set<std::uint64_t> derived;
+  std::size_t derived_cells = 0;
+  for (const auto& cell : grid.cells) {
+    if (cell.replicate == 0) {
+      EXPECT_EQ(cell.seed, config.seed) << "replicate 0 keeps the configured seed";
+    } else {
+      EXPECT_NE(cell.seed, config.seed) << "replicate " << cell.replicate;
+      derived.insert(cell.seed);
+      ++derived_cells;
+    }
+  }
+  // Every derived replicate ran under its own substream seed.
+  ASSERT_GT(derived_cells, 0u);
+  EXPECT_EQ(derived.size(), derived_cells);
+}
+
+TEST(Determinism, GridRejectsDegenerateArguments) {
+  const PipelineConfig config = tiny_pipeline();
+  EXPECT_THROW(run_sweep_grid(config, kTinyPool, 2, 1, {}), std::invalid_argument);
+  EXPECT_THROW(run_sweep_grid(config, kTinyPool, 2, 1, {"default"}, 0), std::invalid_argument);
 }
 
 // --- batched machine replay ----------------------------------------------

@@ -162,6 +162,18 @@ TEST(DifferentialCbf, MultiplyNarrowCounters) {
   run_cbf_differential(2, sig::HashKind::Multiply, 256, 1, 24);  // 1-bit: saturates instantly
 }
 
+TEST(DifferentialCbf, FourBitSaturationSmallFilter) {
+  // 4-bit packed counters crammed into 64 entries: many counters pin at 15
+  // and the stuck-at-max remove path runs constantly.
+  run_cbf_differential(1, sig::HashKind::Xor, 64, 4, 25);
+}
+
+TEST(DifferentialCbf, FourBitOddEntryCount) {
+  // Odd entry count: the packed nibble array carries a padding nibble that
+  // every operation must leave at zero (validate() checks it).
+  run_cbf_differential(2, sig::HashKind::Modulo, 257, 4, 26);
+}
+
 // ---------------------------------------------------------------------------
 // FilterUnit vs ReferenceFilterUnit, driven by matched fill/evict pairs.
 // ---------------------------------------------------------------------------
@@ -212,6 +224,14 @@ void run_filter_differential(const sig::FilterUnitConfig& config, std::uint64_t 
         ASSERT_EQ(opt.self_symbiosis(rbv, c),
                   testref::ReferenceFilterUnit::sym_diff(ref.rbv(c), ref.lf(c)))
             << "event " << i;
+        // The batched one-pass evaluation must agree with the per-core calls.
+        const std::vector<std::size_t> batched = opt.symbiosis_all(rbv, c);
+        ASSERT_EQ(batched.size(), config.num_cores);
+        for (std::size_t o = 0; o < config.num_cores; ++o) {
+          ASSERT_EQ(batched[o],
+                    o == c ? opt.self_symbiosis(rbv, c) : opt.symbiosis(rbv, o))
+              << "event " << i << " core " << o;
+        }
       }
       opt.validate();
     }
@@ -306,6 +326,19 @@ TEST(DifferentialBitVector, PopcountsMatchPerBitScan) {
       ASSERT_EQ(rbv.popcount(), naive_and_not) << bits;
     }
   }
+}
+
+TEST(DifferentialBitVector, ZeroWidthVectorsAreWellDefined) {
+  sig::BitVector a(0);
+  sig::BitVector b(0);
+  EXPECT_EQ(a.popcount(), 0u);
+  EXPECT_EQ(a.xor_popcount(b), 0u);
+  EXPECT_EQ(a.and_popcount(b), 0u);
+  sig::BitVector rbv(0);
+  rbv.assign_and_not(a, b);
+  EXPECT_EQ(rbv.popcount(), 0u);
+  EXPECT_EQ(a.fill_ratio(), 0.0);
+  EXPECT_EQ(a, b);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,250 @@
+// SIMD kernel layer tests (sig/kernels.hpp + util/simd.hpp): backend
+// dispatch sanity, and differential tests running EVERY backend compiled
+// into this binary against the naive per-bit/per-nibble references on
+// awkward widths — 0, 1, word-boundary ±1, and large — plus packed-CBF
+// saturation at 15. The `simd-matrix` ctest legs additionally rerun these
+// suites with SYMBIOSIS_SIMD forced to each backend so the env-override
+// path stays green on every platform.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "reference/reference_kernels.hpp"
+#include "sig/counting_bloom.hpp"
+#include "sig/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace symbiosis::sig {
+namespace {
+
+using testref::naive_nibble_count_eq;
+using testref::naive_nibble_decay;
+using testref::naive_nibble_get;
+using testref::naive_nibble_merge_saturating;
+using testref::naive_nibble_set;
+using testref::naive_word_and_not;
+using testref::naive_word_and_popcount;
+using testref::naive_word_popcount;
+using testref::naive_word_xor_popcount;
+
+TEST(KernelDispatch, ScalarIsAlwaysAvailableAndLast) {
+  const auto& backends = util::available_simd_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.back(), util::SimdBackend::Scalar);
+  EXPECT_EQ(std::count(backends.begin(), backends.end(), util::SimdBackend::Scalar), 1);
+}
+
+TEST(KernelDispatch, ActiveBackendIsAvailable) {
+  const auto& backends = util::available_simd_backends();
+  const util::SimdBackend active = util::active_simd_backend();
+  EXPECT_NE(std::find(backends.begin(), backends.end(), active), backends.end());
+  EXPECT_EQ(kernels::ops().backend, active);
+}
+
+TEST(KernelDispatch, TablesReportTheirBackend) {
+  for (const util::SimdBackend backend : util::available_simd_backends()) {
+    EXPECT_EQ(kernels::kernel_ops(backend).backend, backend)
+        << util::simd_backend_name(backend);
+  }
+}
+
+TEST(KernelDispatch, BackendNamesRoundTripThroughParse) {
+  for (const util::SimdBackend backend :
+       {util::SimdBackend::Scalar, util::SimdBackend::Avx2, util::SimdBackend::Neon}) {
+    const auto parsed = util::parse_simd_backend(util::simd_backend_name(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(util::parse_simd_backend("").has_value());
+  EXPECT_FALSE(util::parse_simd_backend("avx512").has_value());
+  EXPECT_FALSE(util::parse_simd_backend("SCALAR").has_value());
+}
+
+/// Word counts covering empty, single, one-under/at/over the 4-word AVX2
+/// block and the 2-word NEON block, and a large non-multiple.
+const std::vector<std::size_t> kWordCounts = {0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1024};
+
+std::vector<std::uint64_t> random_words(util::Rng& rng, std::size_t n, int fill_percent) {
+  std::vector<std::uint64_t> words(n, 0);
+  for (auto& word : words) {
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      if (rng.next_below(100) < static_cast<std::uint64_t>(fill_percent)) {
+        word |= std::uint64_t{1} << bit;
+      }
+    }
+  }
+  return words;
+}
+
+TEST(KernelDifferential, WordKernelsMatchNaiveOnEveryBackend) {
+  util::Rng rng(20260808);
+  for (const util::SimdBackend backend : util::available_simd_backends()) {
+    const kernels::KernelOps& ops = kernels::kernel_ops(backend);
+    for (const std::size_t n : kWordCounts) {
+      for (const int fill : {0, 3, 50, 97, 100}) {
+        const auto a = random_words(rng, n, fill);
+        const auto b = random_words(rng, n, 100 - fill);
+        EXPECT_EQ(ops.popcount(a.data(), n), naive_word_popcount(a.data(), n))
+            << util::simd_backend_name(backend) << " n=" << n;
+        EXPECT_EQ(ops.xor_popcount(a.data(), b.data(), n),
+                  naive_word_xor_popcount(a.data(), b.data(), n))
+            << util::simd_backend_name(backend) << " n=" << n;
+        EXPECT_EQ(ops.and_popcount(a.data(), b.data(), n),
+                  naive_word_and_popcount(a.data(), b.data(), n))
+            << util::simd_backend_name(backend) << " n=" << n;
+        std::vector<std::uint64_t> dst(n, 0xdeadbeefdeadbeefull);
+        std::vector<std::uint64_t> expected(n, 0);
+        ops.and_not(dst.data(), a.data(), b.data(), n);
+        naive_word_and_not(expected.data(), a.data(), b.data(), n);
+        EXPECT_EQ(dst, expected) << util::simd_backend_name(backend) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, XorPopcountManyMatchesPerTargetCalls) {
+  util::Rng rng(99);
+  for (const util::SimdBackend backend : util::available_simd_backends()) {
+    const kernels::KernelOps& ops = kernels::kernel_ops(backend);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{5}, std::size_t{64}}) {
+      const auto a = random_words(rng, n, 40);
+      std::vector<std::vector<std::uint64_t>> targets;
+      std::vector<const std::uint64_t*> ptrs;
+      for (int t = 0; t < 7; ++t) {
+        targets.push_back(random_words(rng, n, 10 + 12 * t));
+        ptrs.push_back(targets.back().data());
+      }
+      std::vector<std::size_t> out(targets.size(), ~std::size_t{0});
+      ops.xor_popcount_many(a.data(), ptrs.data(), ptrs.size(), n, out.data());
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        EXPECT_EQ(out[t], naive_word_xor_popcount(a.data(), ptrs[t], n))
+            << util::simd_backend_name(backend) << " n=" << n << " t=" << t;
+      }
+    }
+  }
+}
+
+/// Nibble counts covering empty, one, an odd tail, the 32-byte AVX2 block
+/// boundary (64 nibbles) ± 1, and a large non-multiple.
+const std::vector<std::size_t> kNibbleCounts = {0, 1, 2, 3, 63, 64, 65, 127, 128, 4095};
+
+std::vector<std::uint8_t> random_nibbles(util::Rng& rng, std::size_t nibbles,
+                                         std::uint8_t max_value) {
+  std::vector<std::uint8_t> packed((nibbles + 1) / 2, 0);
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    naive_nibble_set(packed, i, static_cast<std::uint8_t>(rng.next_below(max_value + 1u)));
+  }
+  return packed;
+}
+
+TEST(KernelDifferential, NibbleKernelsMatchNaiveOnEveryBackend) {
+  util::Rng rng(4242);
+  for (const util::SimdBackend backend : util::available_simd_backends()) {
+    const kernels::KernelOps& ops = kernels::kernel_ops(backend);
+    for (const std::size_t nibbles : kNibbleCounts) {
+      for (const std::uint8_t max_value : {std::uint8_t{15}, std::uint8_t{7}, std::uint8_t{1}}) {
+        const auto src = random_nibbles(rng, nibbles, max_value);
+        auto dst = random_nibbles(rng, nibbles, max_value);
+
+        for (std::uint8_t value = 0; value <= max_value; ++value) {
+          EXPECT_EQ(ops.nibble_count_eq(dst.data(), nibbles, value),
+                    naive_nibble_count_eq(dst, nibbles, value))
+              << util::simd_backend_name(backend) << " nibbles=" << nibbles
+              << " value=" << int{value};
+        }
+
+        auto merged = dst;
+        auto merged_ref = dst;
+        ops.nibble_merge_saturating(merged.data(), src.data(), nibbles, max_value);
+        naive_nibble_merge_saturating(merged_ref, src, nibbles, max_value);
+        EXPECT_EQ(merged, merged_ref)
+            << util::simd_backend_name(backend) << " nibbles=" << nibbles
+            << " max=" << int{max_value};
+
+        auto decayed = dst;
+        auto decayed_ref = dst;
+        ops.nibble_decay(decayed.data(), nibbles, max_value);
+        naive_nibble_decay(decayed_ref, nibbles, max_value);
+        EXPECT_EQ(decayed, decayed_ref)
+            << util::simd_backend_name(backend) << " nibbles=" << nibbles
+            << " max=" << int{max_value};
+
+        // Mutating kernels must preserve the zero padding nibble.
+        if ((nibbles & 1) != 0) {
+          EXPECT_EQ(merged.back() >> 4, 0);
+          EXPECT_EQ(decayed.back() >> 4, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, NibbleDecayRespectsStuckAtMax) {
+  for (const util::SimdBackend backend : util::available_simd_backends()) {
+    const kernels::KernelOps& ops = kernels::kernel_ops(backend);
+    // Counters 0, 1, 15 (saturated), 14, 7, 0 with max 15: decay must give
+    // 0, 0, 15, 13, 6, 0 — zero stays, saturated stays, the rest age.
+    std::vector<std::uint8_t> packed(3, 0);
+    const std::vector<std::uint8_t> values = {0, 1, 15, 14, 7, 0};
+    for (std::size_t i = 0; i < values.size(); ++i) naive_nibble_set(packed, i, values[i]);
+    ops.nibble_decay(packed.data(), values.size(), 15);
+    const std::vector<std::uint8_t> expected = {0, 0, 15, 13, 6, 0};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(naive_nibble_get(packed, i), expected[i])
+          << util::simd_backend_name(backend) << " i=" << i;
+    }
+  }
+}
+
+/// Packed-CBF semantics: a 4-bit filter must saturate at 15 and behave
+/// exactly like an unpacked model driven with the same operations.
+TEST(KernelDifferential, PackedCbfDecayAndMergeMatchWideModel) {
+  const std::size_t entries = 257;  // odd: exercises the padding nibble
+  CountingBloomFilter packed(entries, 4, 2, HashKind::Modulo);
+  CountingBloomFilter other(entries, 4, 2, HashKind::Modulo);
+  ASSERT_TRUE(packed.packed());
+  std::vector<unsigned> model(entries, 0);
+  std::vector<unsigned> model_other(entries, 0);
+
+  util::Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const LineAddr line = rng.next_below(600);
+    const BloomIndices idx = packed.indices_of(line);
+    packed.insert(idx);
+    for (unsigned j = 0; j < idx.count; ++j) {
+      if (model[idx.idx[j]] < 15) ++model[idx.idx[j]];
+    }
+    if (i % 3 == 0) {
+      other.insert(idx);
+      for (unsigned j = 0; j < idx.count; ++j) {
+        if (model_other[idx.idx[j]] < 15) ++model_other[idx.idx[j]];
+      }
+    }
+  }
+  // Heavy insertion into 257 entries must have saturated something — this
+  // is the counter-saturation-at-15 case the differential layer pins.
+  EXPECT_GT(packed.saturated_count(), 0u);
+
+  packed.merge_saturating(other);
+  for (std::size_t i = 0; i < entries; ++i) {
+    model[i] = std::min(model[i] + model_other[i], 15u);
+  }
+  packed.decay();
+  for (auto& value : model) {
+    if (value != 0 && value != 15) --value;
+  }
+
+  for (std::size_t i = 0; i < entries; ++i) {
+    ASSERT_EQ(packed.counter_at(i), model[i]) << "counter " << i;
+  }
+  EXPECT_EQ(packed.nonzero_count(),
+            static_cast<std::size_t>(std::count_if(model.begin(), model.end(),
+                                                   [](unsigned v) { return v != 0; })));
+  packed.validate();
+}
+
+}  // namespace
+}  // namespace symbiosis::sig

@@ -133,6 +133,75 @@ class UpdateMode(BenchGateCase):
         self.assertEqual(doc["benchmarks"]["BM_New"], {"real_time_ns": 42.0})
 
 
+class FilterFlag(BenchGateCase):
+    def baseline_two_suites(self) -> Path:
+        return self.write("base.json", {"benchmarks": {
+            "BM_KernelPopcount/avx2/1024": {"real_time_ns": 100.0},
+            "BM_KernelPopcount/scalar/1024": {"real_time_ns": 800.0},
+            "BM_TraceReplay/1": {"real_time_ns": 1000.0},
+        }})
+
+    def test_filter_limits_gating_to_matching_benchmarks(self):
+        baseline = self.baseline_two_suites()
+        # The trace benchmark regressed badly, but it is outside the filter.
+        run = self.write("run.json", run_file({
+            "BM_KernelPopcount/avx2/1024": 105.0,
+            "BM_TraceReplay/1": 5000.0,
+        }))
+        result = self.gate("check", str(baseline), str(run), "--filter", r"^BM_Kernel")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertNotIn("BM_TraceReplay", result.stdout)
+
+    def test_filter_still_fails_matching_regressions(self):
+        baseline = self.baseline_two_suites()
+        run = self.write("run.json", run_file({"BM_KernelPopcount/avx2/1024": 200.0}))
+        result = self.gate("check", str(baseline), str(run), "--filter", r"^BM_Kernel")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_filter_limits_unmeasured_warnings(self):
+        baseline = self.baseline_two_suites()
+        # Only one kernel leg measured: the other kernel leg warns, but the
+        # out-of-filter trace entry must NOT be reported as unmeasured.
+        run = self.write("run.json", run_file({"BM_KernelPopcount/avx2/1024": 100.0}))
+        result = self.gate("check", str(baseline), str(run), "--filter", r"^BM_Kernel")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("BM_KernelPopcount/scalar/1024: in baseline but not measured",
+                      result.stdout)
+        self.assertNotIn("BM_TraceReplay", result.stdout)
+
+    def test_filtered_update_preserves_non_matching_entries(self):
+        baseline = self.baseline_two_suites()
+        run = self.write("run.json", run_file({
+            "BM_KernelPopcount/avx2/1024": 120.0,
+            "BM_TraceReplay/1": 9999.0,  # matches the run file but not the filter
+        }))
+        result = self.gate("update", str(baseline), str(run), "--filter", r"^BM_Kernel")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        self.assertEqual(doc["benchmarks"]["BM_KernelPopcount/avx2/1024"],
+                         {"real_time_ns": 120.0})
+        # Matching-but-unmeasured entries are dropped (normal update contract)…
+        self.assertNotIn("BM_KernelPopcount/scalar/1024", doc["benchmarks"])
+        # …while out-of-filter entries survive byte-for-byte.
+        self.assertEqual(doc["benchmarks"]["BM_TraceReplay/1"], {"real_time_ns": 1000.0})
+
+    def test_bad_filter_regex_is_exit_2(self):
+        baseline = self.baseline_two_suites()
+        run = self.write("run.json", run_file({"BM_KernelPopcount/avx2/1024": 100.0}))
+        result = self.gate("check", str(baseline), str(run), "--filter", "BM_[")
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("--filter", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_filter_matching_nothing_is_a_clean_failure(self):
+        baseline = self.baseline_two_suites()
+        run = self.write("run.json", run_file({"BM_KernelPopcount/avx2/1024": 100.0}))
+        result = self.gate("check", str(baseline), str(run), "--filter", "BM_Nope")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("no benchmark entries match", result.stderr)
+
+
 class CommittedBaseline(BenchGateCase):
     def test_committed_baseline_parses_and_gates_itself(self):
         # The committed baseline must stay well-formed: replaying its own

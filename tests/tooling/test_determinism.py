@@ -137,6 +137,15 @@ class RngChecker(unittest.TestCase):
         self.assertIn("rng/shared-across-tasks", result.stdout)
         self.assertIn("split", result.stdout)
 
+    def test_split_derived_auto_rng_in_pool_task_is_clean(self):
+        # The run_sweep_grid sharding shape: `auto rng = base.split(i)` inside
+        # a parallel_for_sharded lambda. No `Rng` token appears in the
+        # declaration, so this regression-tests the assigned-from-split skip
+        # (it false-positived as shared-across-tasks before).
+        result = run_fixture("rng_split_sweep")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertNotIn("rng/shared-across-tasks", result.stdout)
+
     def test_member_seeded_in_sibling_cpp_is_clean(self):
         # clean/src/machine/widget.hpp declares `util::Rng rng_;` with no
         # initializer; the mem-init lives in widget.cpp. Cross-file member
