@@ -12,6 +12,10 @@ control and the seeded util::Rng itself).
 Like layering.py, the set of analyzed translation units is driven by
 compile_commands.json when one is available (CI shares the `tidy` preset
 database); headers belonging to the deterministic modules are always scanned.
+examples/ sources are held to the same contract -- example binaries drive the
+deterministic modules end-to-end and are the code users copy first.
+The inline-waiver <-> registry machinery is shared with symhot
+(scripts/analyze/waivers.py).
 The engine is a comment/string-aware lexical analyzer -- no libclang needed
 in the build image -- and every rule has a committed fixture exercising both
 the firing and the clean direction (tests/tooling/test_determinism.py).
@@ -68,17 +72,29 @@ import json
 import re
 import shlex
 import sys
-import tomllib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
+
+_ANALYZE_DIR = str(Path(__file__).resolve().parent)
+if _ANALYZE_DIR not in sys.path:
+    sys.path.insert(0, _ANALYZE_DIR)
+
+import waivers
+from waivers import Finding, Waiver, WaiverGrammar
+
+SYMDET_GRAMMAR = WaiverGrammar(
+    tool="symdet",
+    comment_re=re.compile(r"//\s*symdet:\s*(?P<payload>.*)$"),
+    payload_re=re.compile(r"^nondet\(\s*(?P<reason>[^)]*?)\s*\)\s*$"),
+    expected="`// symdet: nondet(<non-empty reason>)`",
+    registry_display="scripts/analyze/determinism_waivers.toml",
+)
 
 DETERMINISTIC_MODULES = ("cachesim", "core", "machine", "sched", "sig", "vm", "workload")
 
 HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
 SOURCE_SUFFIXES = {".cpp", ".cc"}
 
-WAIVER_COMMENT_RE = re.compile(r"//\s*symdet:\s*(?P<payload>.*)$")
-NONDET_RE = re.compile(r"^nondet\(\s*(?P<reason>[^)]*?)\s*\)\s*$")
 ORDER_INSENSITIVE_RE = re.compile(r"\bSYM_ORDER_INSENSITIVE\s*\(")
 
 ENTROPY_RULES: list[tuple[str, re.Pattern[str], str]] = [
@@ -163,29 +179,6 @@ def strip_strings_and_comments(line: str, in_block_comment: bool = False) -> tup
 
 
 @dataclass
-class Finding:
-    checker: str
-    rule: str
-    file: str          # repo-relative
-    line: int
-    message: str
-    waived: bool = False
-
-    def render(self) -> str:
-        tag = " (waived)" if self.waived else ""
-        return f"{self.checker}/{self.rule}: {self.file}:{self.line}: {self.message}{tag}"
-
-
-@dataclass
-class Waiver:
-    file: str
-    line: int          # line the waiver comment sits on
-    reason: str
-    covers: set[int] = field(default_factory=set)
-    used_by: list[str] = field(default_factory=list)  # checkers it suppressed
-
-
-@dataclass
 class FileScan:
     path: Path
     rel: str
@@ -219,34 +212,13 @@ def scan_file(path: Path, root: Path) -> FileScan:
         stripped, in_block = strip_strings_and_comments(line, in_block)
         code.append(stripped)
 
-    waivers: list[Waiver] = []
-    waiver_errors: list[Finding] = []
-    for lineno, line in enumerate(raw, start=1):
-        match = WAIVER_COMMENT_RE.search(line)
-        if not match:
-            continue
-        payload = match.group("payload").strip()
-        nondet = NONDET_RE.match(payload)
-        if not nondet or not nondet.group("reason"):
-            waiver_errors.append(Finding(
-                "waiver", "syntax", rel, lineno,
-                f"malformed symdet waiver '{payload or '(empty)'}' -- expected "
-                "`// symdet: nondet(<non-empty reason>)`"))
-            continue
-        covers = {lineno}
-        # A comment-only waiver line covers the next line carrying code.
-        if not code[lineno - 1].strip():
-            for follow in range(lineno + 1, min(lineno + 4, len(raw) + 1)):
-                if code[follow - 1].strip():
-                    covers.add(follow)
-                    break
-        waivers.append(Waiver(rel, lineno, nondet.group("reason"), covers))
+    file_waivers, waiver_errors = waivers.scan_waivers(SYMDET_GRAMMAR, rel, raw, code)
 
     text = "\n".join(code)
     offsets = [0]
     for line in code[:-1]:
         offsets.append(offsets[-1] + len(line) + 1)
-    return FileScan(path, rel, raw, code, text, offsets, waivers, waiver_errors)
+    return FileScan(path, rel, raw, code, text, offsets, file_waivers, waiver_errors)
 
 
 # --------------------------------------------------------------------------
@@ -596,53 +568,6 @@ def _check_rng_shared(scan: FileScan, rng_vars: set[str]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
-# Registry
-
-
-def load_registry(path: Path) -> list[dict[str, str]]:
-    try:
-        with path.open("rb") as fh:
-            data = tomllib.load(fh)
-    except (OSError, tomllib.TOMLDecodeError) as exc:
-        fail_usage(f"cannot read waiver registry {path}: {exc}")
-    entries = data.get("waiver", [])
-    if not isinstance(entries, list):
-        fail_usage(f"registry {path}: [[waiver]] must be an array of tables")
-    for entry in entries:
-        for key in ("file", "checker", "reason"):
-            if not isinstance(entry.get(key), str) or not entry[key]:
-                fail_usage(f"registry {path}: every [[waiver]] needs non-empty "
-                           f"string '{key}'")
-    return entries
-
-
-def reconcile_registry(entries: list[dict[str, str]],
-                       used_waivers: list[Waiver]) -> list[Finding]:
-    """Inline waivers must be registered; registry entries must be live."""
-    findings = []
-    matched = [False] * len(entries)
-    for waiver in used_waivers:
-        hit = False
-        for i, entry in enumerate(entries):
-            if entry["file"] == waiver.file and entry["checker"] in waiver.used_by:
-                matched[i] = True
-                hit = True
-        if not hit:
-            findings.append(Finding(
-                "waiver", "unregistered", waiver.file, waiver.line,
-                f"inline waiver '{waiver.reason}' (suppresses "
-                f"{'/'.join(sorted(set(waiver.used_by)))}) is not in the registry "
-                "-- add a [[waiver]] entry to scripts/analyze/determinism_waivers.toml"))
-    for i, entry in enumerate(entries):
-        if not matched[i]:
-            findings.append(Finding(
-                "waiver", "stale-registry", entry["file"], 0,
-                f"registry waiver for checker '{entry['checker']}' matches no "
-                "inline waiver -- remove it or restore the annotation"))
-    return findings
-
-
-# --------------------------------------------------------------------------
 # File discovery (compile_commands.json-driven, like layering.py)
 
 
@@ -680,11 +605,15 @@ def collect_files(root: Path, modules: list[str], compile_db: Path | None) -> li
         fail_usage(f"no src/ directory under {root}")
     db_sources = compile_db_sources(compile_db) if compile_db else None
     files = []
-    for module in modules:
-        module_dir = src_root / module
-        if not module_dir.is_dir():
+    # Example binaries drive the deterministic modules end-to-end, so they are
+    # held to the same contract (a wall-clock or hardcoded seed in an example
+    # would silently regress RNG discipline in the very code users copy).
+    scan_dirs = [src_root / module for module in modules]
+    scan_dirs.append(root / "examples")
+    for scan_dir in scan_dirs:
+        if not scan_dir.is_dir():
             continue
-        for file in sorted(module_dir.rglob("*")):
+        for file in sorted(scan_dir.rglob("*")):
             if not file.is_file():
                 continue
             if file.suffix in HEADER_SUFFIXES:
@@ -701,6 +630,13 @@ def collect_files(root: Path, modules: list[str], compile_db: Path | None) -> li
 # Driver
 
 
+def module_of(rel: str) -> str:
+    """Cross-file grouping key: src/<module>/... groups by module, anything
+    else (examples/) by its top-level directory."""
+    parts = Path(rel).parts
+    return parts[1] if parts[0] == "src" and len(parts) > 1 else parts[0]
+
+
 def analyze(root: Path, modules: list[str], compile_db: Path | None,
             registry_path: Path | None) -> tuple[list[Finding], list[Waiver], int]:
     files = collect_files(root, modules, compile_db)
@@ -710,35 +646,25 @@ def analyze(root: Path, modules: list[str], compile_db: Path | None,
     scans = [scan_file(f, root) for f in files]
     by_module: dict[str, list[FileScan]] = {}
     for scan in scans:
-        module = Path(scan.rel).parts[1] if len(Path(scan.rel).parts) > 1 else ""
-        by_module.setdefault(module, []).append(scan)
+        by_module.setdefault(module_of(scan.rel), []).append(scan)
 
     findings: list[Finding] = []
     all_waivers: list[Waiver] = []
     for scan in scans:
-        module = Path(scan.rel).parts[1]
         raw_findings = (check_entropy(scan)
                         + check_ordering(scan)
-                        + check_rng(scan, by_module[module]))
-        for finding in raw_findings:
-            for waiver in scan.waivers:
-                if finding.line in waiver.covers:
-                    finding.waived = True
-                    waiver.used_by.append(finding.checker)
-                    break
+                        + check_rng(scan, by_module[module_of(scan.rel)]))
+        waivers.apply_waivers(raw_findings, scan.waivers)
         findings.extend(raw_findings)
         findings.extend(scan.waiver_errors)
         all_waivers.extend(scan.waivers)
 
-    for waiver in all_waivers:
-        if not waiver.used_by:
-            findings.append(Finding(
-                "waiver", "unused", waiver.file, waiver.line,
-                f"waiver '{waiver.reason}' suppresses no finding -- remove it"))
+    findings.extend(waivers.unused_waiver_findings(all_waivers))
 
     if registry_path is not None and registry_path.is_file():
-        entries = load_registry(registry_path)
-        findings.extend(reconcile_registry(entries, [w for w in all_waivers if w.used_by]))
+        entries = waivers.load_registry(registry_path, fail_usage)
+        findings.extend(waivers.reconcile_registry(
+            SYMDET_GRAMMAR, entries, [w for w in all_waivers if w.used_by]))
 
     findings.sort(key=lambda f: (f.file, f.line, f.checker, f.rule))
     return findings, all_waivers, len(scans)

@@ -1,0 +1,28 @@
+// Clean hot path: a pure loop, an allowlisted extern (memcpy), and an
+// allocating slow path quarantined behind a registered SYM_COLD sink.
+#include <cstring>
+
+#include "../../common/hot.hpp"
+
+namespace {
+int helper(const int* data, unsigned long n) {
+  int acc = 0;
+  for (unsigned long i = 0; i < n; ++i) acc += data[i];
+  return acc;
+}
+}  // namespace
+
+int* g_spill = nullptr;
+
+FIX_COLD void spill_slow(unsigned long n) {
+  // Allocation behind the sanctioned cold boundary: the traversal must stop
+  // at the sink without reporting purity/alloc.
+  delete[] g_spill;
+  g_spill = new int[n];
+}
+
+FIX_HOT int hot_sum(const int* data, int* scratch, unsigned long n) {
+  if (n > (1ul << 20)) spill_slow(n);
+  std::memcpy(scratch, data, n * sizeof(int));
+  return helper(scratch, n);
+}

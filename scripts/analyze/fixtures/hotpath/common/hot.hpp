@@ -1,0 +1,6 @@
+#pragma once
+// Minimal stand-ins for src/util/hotpath.hpp's SYM_HOT/SYM_COLD. The
+// analyzer keys on the ELF section names, not the macro spelling, so the
+// fixtures stay self-contained (no repo include paths needed).
+#define FIX_HOT __attribute__((hot, section(".text.symhot")))
+#define FIX_COLD __attribute__((cold, noinline, section(".text.symhot_cold")))

@@ -1,0 +1,14 @@
+// Unwaived function-pointer dispatch on the hot path: indirect/indirect-call
+// expected. The volatile-qualified pointer keeps the compiler from
+// devirtualizing the call at -O2.
+#include "../../common/hot.hpp"
+
+namespace {
+int impl(int x) { return x * 2; }
+}  // namespace
+
+int (*volatile g_dispatch)(int) = impl;
+
+FIX_HOT int hot_dispatch(int x) {
+  return g_dispatch(x);
+}

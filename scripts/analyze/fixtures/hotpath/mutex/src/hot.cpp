@@ -1,0 +1,13 @@
+// Lock acquisition on the hot path: purity/lock expected (std::mutex
+// lowers to pthread_mutex_lock/unlock calls).
+#include <mutex>
+
+#include "../../common/hot.hpp"
+
+std::mutex g_mu;
+long g_count = 0;
+
+FIX_HOT long hot_count() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  return ++g_count;
+}

@@ -1,0 +1,6 @@
+// Allocation directly in the annotated root: purity/alloc expected.
+#include "../../common/hot.hpp"
+
+FIX_HOT int* hot_grow(unsigned long n) {
+  return new int[n];
+}

@@ -1,0 +1,3 @@
+int* grow(unsigned long n) {
+  return new int[n];
+}

@@ -1,0 +1,10 @@
+// The root is allocation-free itself; the helper it calls in another
+// translation unit is not. Exercises the cross-object call-graph edge:
+// purity/alloc expected, attributed inside helper.cpp.
+#include "../../common/hot.hpp"
+
+int* grow(unsigned long n);
+
+FIX_HOT int* hot_grow(unsigned long n) {
+  return grow(n);
+}

@@ -1,0 +1,10 @@
+// Call to an undefined extern outside the proven-pure allowlist:
+// purity/opaque-extern expected. Also exercises the tail-call (jmp) edge --
+// at -O2 this compiles to `jmp mystery_syscall`.
+#include "../../common/hot.hpp"
+
+extern "C" long mystery_syscall(long);
+
+FIX_HOT long hot_poke(long x) {
+  return mystery_syscall(x);
+}

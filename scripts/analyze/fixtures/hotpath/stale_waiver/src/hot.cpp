@@ -1,0 +1,7 @@
+// Clean hot path, but registry.toml carries a waiver entry matching no
+// inline waiver: waiver/stale-registry expected.
+#include "../../common/hot.hpp"
+
+FIX_HOT int hot_double(int x) {
+  return x * 2;
+}

@@ -1,0 +1,11 @@
+// Conditional throw in the root. At -O2 the throw machinery is split into a
+// `[clone .cold]` part in .text.unlikely reached via a section-relative
+// relocation -- the traversal must follow it: purity/throw expected.
+#include <stdexcept>
+
+#include "../../common/hot.hpp"
+
+FIX_HOT int hot_pick(const int* v, unsigned long i, unsigned long n) {
+  if (i >= n) throw std::out_of_range("index");
+  return v[i];
+}

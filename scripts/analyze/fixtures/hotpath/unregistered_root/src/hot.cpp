@@ -1,0 +1,7 @@
+// The annotated symbol matches no [[root]] entry, and the lone entry matches
+// no symbol: registry/unregistered-root and registry/stale-root expected.
+#include "../../common/hot.hpp"
+
+FIX_HOT int hot_triple(int x) {
+  return x * 3;
+}

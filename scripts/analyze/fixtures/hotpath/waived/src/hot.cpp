@@ -1,0 +1,15 @@
+// Same dispatch as the `indirect` fixture, but carrying a well-formed inline
+// waiver mirrored in registry.toml: the run must pass with the finding
+// reported as waived.
+#include "../../common/hot.hpp"
+
+namespace {
+int impl(int x) { return x * 2; }
+}  // namespace
+
+int (*volatile g_dispatch)(int) = impl;
+
+FIX_HOT int hot_dispatch(int x) {
+  // symhot: indirect(fixture dispatch table; both targets are fixture roots)
+  return g_dispatch(x);
+}

@@ -20,7 +20,7 @@ and checks it against the declared module DAG in layers.toml:
 Usage:
   scripts/analyze/layering.py [--root DIR] [--manifest FILE]
                               [--compile-db FILE] [--src-dir NAME]
-                              [--skip-orphans]
+                              [--skip-orphans] [--json FILE]
 
 Defaults resolve against --root (the repo root): the manifest is
 <root>/scripts/analyze/layers.toml or <root>/layers.toml, the compile
@@ -349,6 +349,21 @@ class Analyzer:
         return problems
 
 
+def problem_as_finding(problem: str) -> dict[str, object]:
+    """Render one problem string in the shared analyzer findings schema
+    (symdet/symhot JSON artifacts use the same keys)."""
+    rule, _, message = problem.partition(": ")
+    file_match = re.match(r"(\S+\.(?:hpp|h|hh|cpp|cc))\b", message)
+    return {
+        "checker": "layering",
+        "rule": rule,
+        "file": file_match.group(1) if file_match else "",
+        "line": 0,
+        "message": message,
+        "waived": False,
+    }
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -362,6 +377,8 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--src-dir", default="src", help="layered tree name (default: src)")
     parser.add_argument("--skip-orphans", action="store_true",
                         help="skip the orphan-header check (no compile database needed)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write machine-readable findings to this file")
     args = parser.parse_args(argv[1:])
 
     root = (args.root or Path(__file__).resolve().parent.parent.parent).resolve()
@@ -405,6 +422,16 @@ def main(argv: list[str]) -> int:
     for problem in problems:
         print(f"layering: {problem}")
     checked = len(analyzer.edges)
+    if args.json:
+        payload = {
+            "tool": "layering",
+            "version": 1,
+            "files_scanned": checked,
+            "manifest": str(manifest),
+            "findings": [problem_as_finding(p) for p in problems],
+            "counts": {"error": len(problems), "waived": 0},
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     if problems:
         print(f"layering.py: {len(problems)} violation(s) across {checked} files",
               file=sys.stderr)

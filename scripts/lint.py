@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """lint.py -- repo-specific lint rules clang-tidy cannot express.
 
-Usage: scripts/lint.py [paths...]        (default: src/)
+Usage: scripts/lint.py [--json FILE] [paths...]   (default: src/ examples/)
 
 Rules (see README "Correctness tooling"):
   no-raw-assert        assert() is banned in committed C++: it vanishes under
@@ -26,6 +26,8 @@ Exit status: 0 when clean, 1 when any rule fires.
 
 from __future__ import annotations
 
+import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -94,12 +96,18 @@ def strip_strings_and_comments(line: str, in_block_comment: bool = False) -> tup
     return "".join(out), in_block_comment
 
 
-def check_file(path: Path) -> list[str]:
-    problems: list[str] = []
+def check_file(path: Path) -> list[tuple[str, int, str, str]]:
+    """-> [(file, line, rule, message)] so text and --json render one list."""
+    problems: list[tuple[str, int, str, str]] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        problems.append((str(path), lineno, rule, message))
+
     try:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
-        return [f"{path}:1: file is not valid UTF-8"]
+        report(1, "utf-8", "file is not valid UTF-8")
+        return problems
 
     lines = text.splitlines()
     in_block_comment = False
@@ -119,22 +127,19 @@ def check_file(path: Path) -> list[str]:
             first_code_line = lineno
 
         if RAW_ASSERT.search(STATIC_ASSERT.sub("", code)):
-            problems.append(
-                f"{path}:{lineno}: raw assert() — use SYM_CHECK/SYM_DCHECK (util/check.hpp)"
-            )
+            report(lineno, "no-raw-assert",
+                   "raw assert() — use SYM_CHECK/SYM_DCHECK (util/check.hpp)")
         if RAW_RAND.search(code):
-            problems.append(
-                f"{path}:{lineno}: rand()/srand() — use the seeded util::Rng instead"
-            )
+            report(lineno, "no-rand",
+                   "rand()/srand() — use the seeded util::Rng instead")
         if path.suffix in HEADER_SUFFIXES and USING_NAMESPACE.search(code):
-            problems.append(
-                f"{path}:{lineno}: `using namespace` in a header leaks into every includer"
-            )
+            report(lineno, "no-using-namespace-in-header",
+                   "`using namespace` in a header leaks into every includer")
         for match in MUTEX_DECL.finditer(code):
             mutex_decls.append((lineno, match.group(1), bool(UNGUARDED_WAIVER.search(raw))))
 
     if path.suffix in HEADER_SUFFIXES and not saw_pragma_once:
-        problems.append(f"{path}:1: header missing #pragma once")
+        report(1, "pragma-once", "header missing #pragma once")
 
     # raw-mutex: enforced under src/ only (tests may build ad-hoc sync objects).
     if "src" in path.parts and mutex_decls:
@@ -143,11 +148,10 @@ def check_file(path: Path) -> list[str]:
             if waived:
                 continue
             if not re.search(rf"SYM_GUARDED_BY\(\s*{re.escape(name)}\s*\)", all_code):
-                problems.append(
-                    f"{path}:{lineno}: mutex '{name}' guards no SYM_GUARDED_BY field — "
-                    "annotate the protected state (util/thread_annotations.hpp) or add "
-                    "`// symlint: unguarded` with a reason"
-                )
+                report(lineno, "raw-mutex",
+                       f"mutex '{name}' guards no SYM_GUARDED_BY field — "
+                       "annotate the protected state (util/thread_annotations.hpp) or add "
+                       "`// symlint: unguarded` with a reason")
 
     return problems
 
@@ -168,17 +172,42 @@ def collect(paths: list[str]) -> list[Path]:
     return files
 
 
+def default_paths() -> list[str]:
+    # Examples are linted alongside src/: they are the code users copy first.
+    return [p for p in ("src", "examples") if Path(p).is_dir()] or ["src"]
+
+
 def main(argv: list[str]) -> int:
-    paths = argv[1:] or ["src"]
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write machine-readable findings to this file")
+    parser.add_argument("paths", nargs="*", help="files/directories to lint "
+                        "(default: src/ and examples/ when present)")
+    args = parser.parse_args(argv[1:])
+    paths = args.paths or default_paths()
     files = collect(paths)
     if not files:
         print(f"lint.py: no C++ files under: {' '.join(paths)}", file=sys.stderr)
         return 2
-    problems: list[str] = []
+    problems: list[tuple[str, int, str, str]] = []
     for f in files:
         problems.extend(check_file(f))
-    for p in problems:
-        print(p)
+    for file, lineno, _rule, message in problems:
+        print(f"{file}:{lineno}: {message}")
+    if args.json:
+        payload = {
+            "tool": "lint",
+            "version": 1,
+            "files_scanned": len(files),
+            "findings": [
+                {"checker": "lint", "rule": rule, "file": file, "line": lineno,
+                 "message": message, "waived": False}
+                for file, lineno, rule, message in problems
+            ],
+            "counts": {"error": len(problems), "waived": 0},
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     if problems:
         print(f"lint.py: {len(problems)} problem(s) in {len(files)} files", file=sys.stderr)
         return 1

@@ -1,6 +1,7 @@
 #include "cachesim/cache.hpp"
 
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -47,7 +48,7 @@ void Cache::set_partition(const CachePartition& partition,
   partitioned_ = true;
 }
 
-AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
+SYM_HOT AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) {
   SYM_DCHECK_BOUNDS(requestor, per_requestor_.size(), "cachesim.bounds");
   AccessResult result;
   const auto set = static_cast<std::size_t>(line & set_mask_);
@@ -66,6 +67,7 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
       result.hit = true;
       result.way = w;
       entry.dirty = entry.dirty || is_write;
+      // symhot: indirect(replacement-policy virtual dispatch; every override is a SYM_HOT root)
       policy_->on_touch(set, w);
       ++total_.hits;
       ++per_requestor_[requestor].hits;
@@ -89,6 +91,7 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
     }
   }
   if (way == ways_) {
+    // symhot: indirect(replacement-policy virtual dispatch; every override is a SYM_HOT root)
     way = policy_->victim_in(set, range.begin, range.end);
     SYM_DCHECK(way >= range.begin && way < range.end, "cachesim.replacement")
         << "replacement policy chose a victim outside the requestor's way range";
@@ -112,6 +115,7 @@ AccessResult Cache::access(LineAddr line, bool is_write, std::size_t requestor) 
   entry.valid = true;
   entry.dirty = is_write;
   entry.owner = requestor;
+  // symhot: indirect(replacement-policy virtual dispatch; every override is a SYM_HOT root)
   policy_->on_fill(set, way);
   result.way = way;
   return result;

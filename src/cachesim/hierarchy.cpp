@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -69,9 +70,16 @@ Hierarchy::Hierarchy(HierarchyConfig config) : config_(std::move(config)) {
   }
 }
 
-MemAccessResult Hierarchy::access_one(std::size_t core, std::size_t cluster, Addr addr,
-                                      bool is_write, Cache& l1, Cache& l2, Tlb& tlb,
-                                      sig::FilterUnit* filter, StreamState& ss) {
+SYM_COLD void Hierarchy::record_l2_eviction(LineAddr victim_line, std::size_t set,
+                                            std::size_t way, std::size_t core) {
+  SYM_RECORD((obs::L2EvictionEvent{victim_line, static_cast<std::uint32_t>(set),
+                                   static_cast<std::uint32_t>(way),
+                                   static_cast<std::uint32_t>(core)}));
+}
+
+SYM_HOT MemAccessResult Hierarchy::access_one(std::size_t core, std::size_t cluster, Addr addr,
+                                              bool is_write, Cache& l1, Cache& l2, Tlb& tlb,
+                                              sig::FilterUnit* filter, StreamState& ss) {
   MemAccessResult result;
   const LineAddr line = config_.l1.line_of(addr);
 
@@ -109,9 +117,7 @@ MemAccessResult Hierarchy::access_one(std::size_t core, std::size_t cluster, Add
   // records the fill before any L3-eviction back-invalidation could retire
   // the very line just filled.
   if (l2r.evicted) {
-    SYM_RECORD((obs::L2EvictionEvent{l2r.victim_line, static_cast<std::uint32_t>(l2r.set),
-                                     static_cast<std::uint32_t>(l2r.way),
-                                     static_cast<std::uint32_t>(core)}));
+    record_l2_eviction(l2r.victim_line, l2r.set, l2r.way, core);
     // Enforce L1 ⊆ L2 inclusion within the cluster: the displaced line may
     // not linger in any L1 above this L2 (degenerate shared = all L1s;
     // private = the core's own, since clusters are single cores).
@@ -157,15 +163,15 @@ MemAccessResult Hierarchy::access_one(std::size_t core, std::size_t cluster, Add
   return result;
 }
 
-MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
+SYM_HOT MemAccessResult Hierarchy::access(std::size_t core, Addr addr, bool is_write) {
   SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
   const std::size_t cluster = cluster_of(core);
   return access_one(core, cluster, addr, is_write, *l1_[core], *l2_[cluster], *tlb_[core],
                     filters_.empty() ? nullptr : filters_[cluster].get(), stream_[core]);
 }
 
-BatchSummary Hierarchy::access_batch(std::size_t core, const MemRef* refs, std::size_t n,
-                                     MemAccessResult* results) {
+SYM_HOT BatchSummary Hierarchy::access_batch(std::size_t core, const MemRef* refs, std::size_t n,
+                                             MemAccessResult* results) {
   SYM_DCHECK_BOUNDS(core, config_.num_cores, "cachesim.bounds");
   // Hoist every core-indexed and config-dependent lookup out of the replay
   // loop; the loop body itself is the canonical access_one().

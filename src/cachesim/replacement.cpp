@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -35,14 +36,14 @@ class LruPolicy final : public ReplacementPolicy {
   LruPolicy(std::size_t sets, std::size_t ways)
       : ways_(ways), stamp_(sets * ways, 0) {}
 
-  void on_touch(std::size_t set, std::size_t way) noexcept override {
+  SYM_HOT void on_touch(std::size_t set, std::size_t way) noexcept override {
     stamp_[set * ways_ + way] = ++clock_;
   }
-  void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
+  SYM_HOT void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
 
-  std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
+  SYM_HOT std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
 
-  std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
+  SYM_HOT std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
     std::size_t best = begin;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t w = begin; w < end; ++w) {
@@ -72,14 +73,14 @@ class FifoPolicy final : public ReplacementPolicy {
   FifoPolicy(std::size_t sets, std::size_t ways)
       : ways_(ways), stamp_(sets * ways, 0) {}
 
-  void on_touch(std::size_t, std::size_t) noexcept override {}
-  void on_fill(std::size_t set, std::size_t way) noexcept override {
+  SYM_HOT void on_touch(std::size_t, std::size_t) noexcept override {}
+  SYM_HOT void on_fill(std::size_t set, std::size_t way) noexcept override {
     stamp_[set * ways_ + way] = ++clock_;
   }
 
-  std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
+  SYM_HOT std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
 
-  std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
+  SYM_HOT std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
     std::size_t best = begin;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t w = begin; w < end; ++w) {
@@ -107,10 +108,10 @@ class RandomPolicy final : public ReplacementPolicy {
  public:
   RandomPolicy(std::size_t ways, std::uint64_t seed) : ways_(ways), rng_(seed) {}
 
-  void on_touch(std::size_t, std::size_t) noexcept override {}
-  void on_fill(std::size_t, std::size_t) noexcept override {}
-  std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
-  std::size_t victim_in(std::size_t, std::size_t begin, std::size_t end) noexcept override {
+  SYM_HOT void on_touch(std::size_t, std::size_t) noexcept override {}
+  SYM_HOT void on_fill(std::size_t, std::size_t) noexcept override {}
+  SYM_HOT std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
+  SYM_HOT std::size_t victim_in(std::size_t, std::size_t begin, std::size_t end) noexcept override {
     // One draw either way, so the unpartitioned call consumes the stream
     // exactly like the pre-partition victim() did.
     return begin + static_cast<std::size_t>(rng_.next_below(end - begin));
@@ -134,16 +135,16 @@ class SrripPolicy final : public ReplacementPolicy {
   SrripPolicy(std::size_t sets, std::size_t ways)
       : ways_(ways), rrpv_(sets * ways, kMax) {}
 
-  void on_touch(std::size_t set, std::size_t way) noexcept override {
+  SYM_HOT void on_touch(std::size_t set, std::size_t way) noexcept override {
     rrpv_[set * ways_ + way] = 0;
   }
-  void on_fill(std::size_t set, std::size_t way) noexcept override {
+  SYM_HOT void on_fill(std::size_t set, std::size_t way) noexcept override {
     rrpv_[set * ways_ + way] = kMax - 1;
   }
 
-  std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
+  SYM_HOT std::size_t victim(std::size_t set) noexcept override { return victim_in(set, 0, ways_); }
 
-  std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
+  SYM_HOT std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
     std::uint8_t* const row = &rrpv_[set * ways_];
     for (;;) {
       for (std::size_t w = begin; w < end; ++w) {
@@ -175,7 +176,7 @@ class TreePlruPolicy final : public ReplacementPolicy {
     }
   }
 
-  void on_touch(std::size_t set, std::size_t way) noexcept override {
+  SYM_HOT void on_touch(std::size_t set, std::size_t way) noexcept override {
     // Walk from the root toward the leaf, pointing each node AWAY from way.
     std::uint8_t* nodes = &tree_[set * (ways_ - 1)];
     std::size_t node = 0;
@@ -194,9 +195,9 @@ class TreePlruPolicy final : public ReplacementPolicy {
     }
   }
 
-  void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
+  SYM_HOT void on_fill(std::size_t set, std::size_t way) noexcept override { on_touch(set, way); }
 
-  std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
+  SYM_HOT std::size_t victim_in(std::size_t set, std::size_t begin, std::size_t end) noexcept override {
     // The decision tree spans the whole set; a sub-range walk would need
     // per-range trees. Cache::set_partition rejects tree-PLRU via
     // supports_partitioning(), so only the full range can reach here.
@@ -209,7 +210,7 @@ class TreePlruPolicy final : public ReplacementPolicy {
 
   [[nodiscard]] bool supports_partitioning() const noexcept override { return false; }
 
-  std::size_t victim(std::size_t set) noexcept override {
+  SYM_HOT std::size_t victim(std::size_t set) noexcept override {
     const std::uint8_t* nodes = &tree_[set * (ways_ - 1)];
     std::size_t node = 0;
     std::size_t lo = 0, hi = ways_;

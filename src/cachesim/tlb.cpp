@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/bitops.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::cachesim {
 
@@ -49,7 +50,7 @@ void Tlb::touch(std::uint32_t i) noexcept {
   push_front(i);
 }
 
-bool Tlb::access(std::uint64_t addr) noexcept {
+SYM_HOT bool Tlb::access(std::uint64_t addr) noexcept {
   const std::uint64_t page = addr >> page_bits_;
   const std::size_t n = pages_.size();
 

@@ -21,6 +21,12 @@ Machine::Machine(const MachineConfig& config)
   has_l3_ = hierarchy_.has_l3();
   if (config.quantum_cycles == 0) throw std::invalid_argument("Machine: zero quantum");
   if (config.batch_steps == 0) throw std::invalid_argument("Machine: zero batch_steps");
+  // Sized once here instead of lazily in record_signature(): the cluster
+  // width is fixed at construction, and the symhot gate keeps growth out
+  // of the per-switch signature path.
+  if (const sig::FilterUnit* filter = hierarchy_.filter()) {
+    symbiosis_scratch_.resize(filter->num_cores());
+  }
 }
 
 TaskId Machine::add_task(std::unique_ptr<workload::TaskStream> stream, std::size_t affinity) {
@@ -100,7 +106,8 @@ void Machine::record_signature(std::size_t core, Task& task) {
   // Own cluster in one batched kernel pass: the self core compares against
   // the LF snapshot (co-residents' footprint), other same-cluster cores
   // against their live CFs (§3.1 / filter_unit.hpp).
-  symbiosis_scratch_.resize(filter->num_cores());
+  SYM_DCHECK_EQ(symbiosis_scratch_.size(), filter->num_cores(), "machine.affinity")
+      << "symbiosis scratch sized at construction";
   filter->symbiosis_all(rbv, local, symbiosis_scratch_.data());
   for (std::size_t c = 0; c < config_.hierarchy.num_cores; ++c) {
     if (hierarchy_.cluster_of(c) == cluster) {

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::sched {
 
@@ -31,7 +32,7 @@ MinCutMethod parse_mincut_method(const std::string& name) {
   throw std::invalid_argument("unknown mincut method: " + name);
 }
 
-double cut_weight(const SymMatrix& w, const Allocation& alloc) {
+SYM_HOT double cut_weight(const SymMatrix& w, const Allocation& alloc) {
   double total = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     for (std::size_t j = i + 1; j < w.size(); ++j) {
@@ -41,7 +42,7 @@ double cut_weight(const SymMatrix& w, const Allocation& alloc) {
   return total;
 }
 
-double intra_weight(const SymMatrix& w, const Allocation& alloc) {
+SYM_HOT double intra_weight(const SymMatrix& w, const Allocation& alloc) {
   double total = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     for (std::size_t j = i + 1; j < w.size(); ++j) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sched/allocation.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace symbiosis::sched {
@@ -32,7 +33,15 @@ class SymMatrix {
   explicit SymMatrix(std::size_t n) : n_(n), w_(n * n, 0.0) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
-  [[nodiscard]] double at(std::size_t i, std::size_t j) const { return w_.at(i * n_ + j); }
+  /// Unchecked in release builds: at() sits inside the allocators'
+  /// per-candidate O(n^2) evaluation loops (cut_weight/intra_weight are
+  /// SYM_HOT roots), where vector::at's throw path would put an exception
+  /// edge on every decision. Debug builds keep the bounds check.
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept {
+    SYM_DCHECK_BOUNDS(i, n_, "sched.mincut");
+    SYM_DCHECK_BOUNDS(j, n_, "sched.mincut");
+    return w_[i * n_ + j];
+  }
   void set(std::size_t i, std::size_t j, double v) {
     w_.at(i * n_ + j) = v;
     w_.at(j * n_ + i) = v;

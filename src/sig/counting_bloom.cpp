@@ -5,6 +5,7 @@
 
 #include "sig/kernels.hpp"
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::sig {
 
@@ -29,7 +30,7 @@ CountingBloomFilter::CountingBloomFilter(std::size_t entries, unsigned counter_b
   }
 }
 
-BloomIndices CountingBloomFilter::indices_of(LineAddr line) const noexcept {
+SYM_HOT BloomIndices CountingBloomFilter::indices_of(LineAddr line) const noexcept {
   BloomIndices out;
   if (k_ == 1) {
     // The paper's configuration: one hash, no dedup pass needed.
@@ -51,7 +52,7 @@ BloomIndices CountingBloomFilter::indices_of(LineAddr line) const noexcept {
   return out;
 }
 
-void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
+SYM_HOT void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
   if (packed_) {
     for (unsigned i = 0; i < indices.count; ++i) {
       const std::size_t idx = indices.idx[i];
@@ -72,7 +73,7 @@ void CountingBloomFilter::insert(const BloomIndices& indices) noexcept {
   }
 }
 
-void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
+SYM_HOT void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
   if (packed_) {
     for (unsigned i = 0; i < indices.count; ++i) {
       const std::size_t idx = indices.idx[i];
@@ -103,11 +104,11 @@ void CountingBloomFilter::remove(const BloomIndices& indices) noexcept {
   SYM_DCHECK_LE(nonzero_, entries_, "sig.cbf");
 }
 
-bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
+SYM_HOT bool CountingBloomFilter::maybe_contains(LineAddr line) const noexcept {
   return maybe_contains(indices_of(line));
 }
 
-bool CountingBloomFilter::maybe_contains(const BloomIndices& indices) const noexcept {
+SYM_HOT bool CountingBloomFilter::maybe_contains(const BloomIndices& indices) const noexcept {
   for (unsigned i = 0; i < indices.count; ++i) {
     if (counter_value(indices.idx[i]) == 0) return false;
   }

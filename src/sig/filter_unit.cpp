@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "sig/kernels.hpp"
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 #include "util/bitops.hpp"
 
@@ -37,7 +38,7 @@ FilterUnit::FilterUnit(FilterUnitConfig config)
   lf_.assign(config.num_cores, BitVector(config.entries()));
 }
 
-unsigned FilterUnit::indices_of(LineAddr line, std::size_t set, std::size_t way,
+SYM_HOT unsigned FilterUnit::indices_of(LineAddr line, std::size_t set, std::size_t way,
                                 std::size_t* out) const noexcept {
   if (!config_.sampled(set)) return 0;
   if (presence_mode_) {
@@ -63,7 +64,7 @@ unsigned FilterUnit::indices_of(LineAddr line, std::size_t set, std::size_t way,
   return n;
 }
 
-void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
+SYM_HOT void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
                          std::size_t way) noexcept {
   SYM_DCHECK_BOUNDS(core, cf_.size(), "sig.filter");
   SYM_DCHECK_LT(way, config_.cache_ways, "sig.filter") << "fill way out of range";
@@ -87,7 +88,7 @@ void FilterUnit::on_fill(LineAddr line, std::size_t core, std::size_t set,
   }
 }
 
-void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexcept {
+SYM_HOT void FilterUnit::on_evict(LineAddr line, std::size_t set, std::size_t way) noexcept {
   if (single_index_) {
     if (!config_.sampled(set)) return;
     const std::size_t idx = single_index_of(line, set, way);
@@ -138,8 +139,8 @@ std::size_t FilterUnit::self_symbiosis(const BitVector& rbv, std::size_t core) c
   return rbv.xor_popcount(lf_[core]);
 }
 
-void FilterUnit::symbiosis_all(const BitVector& rbv, std::size_t self_core,
-                               std::size_t* out) const noexcept {
+SYM_HOT void FilterUnit::symbiosis_all(const BitVector& rbv, std::size_t self_core,
+                                       std::size_t* out) const noexcept {
   SYM_DCHECK_BOUNDS(self_core, cf_.size(), "sig.filter");
   SYM_DCHECK_EQ(rbv.size(), counters_.size(), "sig.filter") << "RBV width != filter entries";
   // Gather the per-core filter word pointers (LF for the self core, CF for
@@ -155,6 +156,7 @@ void FilterUnit::symbiosis_all(const BitVector& rbv, std::size_t self_core,
       const std::size_t core = base + i;
       ptrs[i] = (core == self_core ? lf_[core] : cf_[core]).words().data();
     }
+    // symhot: indirect(SIMD kernel table dispatch; the bound backend's kernels are SYM_HOT roots)
     kernels::ops().xor_popcount_many(rbv_words, ptrs, n, words, out + base);
   }
 }

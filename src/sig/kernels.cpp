@@ -5,6 +5,10 @@
 // util::available_simd_backends() confirmed at startup.
 #include "sig/kernels.hpp"
 
+#include <atomic>
+
+#include "util/hotpath.hpp"
+
 #include <algorithm>
 #include <bit>
 
@@ -24,13 +28,13 @@ namespace {
 
 // ---------------------------------------------------------------- scalar
 
-std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
+SYM_HOT std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
   std::size_t total = 0;
   for (std::size_t i = 0; i < n; ++i) total += static_cast<std::size_t>(std::popcount(words[i]));
   return total;
 }
 
-std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+SYM_HOT std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
   std::size_t total = 0;
   for (std::size_t i = 0; i < n; ++i) {
     total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
@@ -38,7 +42,7 @@ std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, 
   return total;
 }
 
-std::size_t and_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+SYM_HOT std::size_t and_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
   std::size_t total = 0;
   for (std::size_t i = 0; i < n; ++i) {
     total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
@@ -46,17 +50,17 @@ std::size_t and_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b, 
   return total;
 }
 
-void and_not_scalar(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+SYM_HOT void and_not_scalar(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
                     std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & ~b[i];
 }
 
-void xor_popcount_many_scalar(const std::uint64_t* a, const std::uint64_t* const* bs,
+SYM_HOT void xor_popcount_many_scalar(const std::uint64_t* a, const std::uint64_t* const* bs,
                               std::size_t count, std::size_t words, std::size_t* out) {
   for (std::size_t c = 0; c < count; ++c) out[c] = xor_popcount_scalar(a, bs[c], words);
 }
 
-std::size_t nibble_count_eq_scalar(const std::uint8_t* packed, std::size_t nibbles,
+SYM_HOT std::size_t nibble_count_eq_scalar(const std::uint8_t* packed, std::size_t nibbles,
                                    std::uint8_t value) {
   std::size_t total = 0;
   const std::size_t full = nibbles / 2;
@@ -69,7 +73,7 @@ std::size_t nibble_count_eq_scalar(const std::uint8_t* packed, std::size_t nibbl
   return total;
 }
 
-void nibble_merge_saturating_scalar(std::uint8_t* dst, const std::uint8_t* src,
+SYM_HOT void nibble_merge_saturating_scalar(std::uint8_t* dst, const std::uint8_t* src,
                                     std::size_t nibbles, std::uint8_t max_value) {
   // The padding nibble of an odd count is zero in both operands, so whole
   // bytes can be processed uniformly (0 + 0 saturates to 0).
@@ -85,7 +89,7 @@ void nibble_merge_saturating_scalar(std::uint8_t* dst, const std::uint8_t* src,
   }
 }
 
-void nibble_decay_scalar(std::uint8_t* packed, std::size_t nibbles, std::uint8_t max_value) {
+SYM_HOT void nibble_decay_scalar(std::uint8_t* packed, std::size_t nibbles, std::uint8_t max_value) {
   const std::size_t bytes = (nibbles + 1) / 2;
   for (std::size_t i = 0; i < bytes; ++i) {
     std::uint8_t lo = packed[i] & 0x0f;
@@ -131,7 +135,7 @@ SYMBIOSIS_TARGET_AVX2 inline __m256i load_words_avx2(const std::uint64_t* words)
   return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
 }
 
-SYMBIOSIS_TARGET_AVX2 std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) {
+SYM_HOT SYMBIOSIS_TARGET_AVX2 std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) {
   __m256i acc = _mm256_setzero_si256();
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -142,7 +146,7 @@ SYMBIOSIS_TARGET_AVX2 std::size_t popcount_avx2(const std::uint64_t* words, std:
   return total;
 }
 
-SYMBIOSIS_TARGET_AVX2 std::size_t xor_popcount_avx2(const std::uint64_t* a,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 std::size_t xor_popcount_avx2(const std::uint64_t* a,
                                                     const std::uint64_t* b, std::size_t n) {
   __m256i acc = _mm256_setzero_si256();
   std::size_t i = 0;
@@ -155,7 +159,7 @@ SYMBIOSIS_TARGET_AVX2 std::size_t xor_popcount_avx2(const std::uint64_t* a,
   return total;
 }
 
-SYMBIOSIS_TARGET_AVX2 std::size_t and_popcount_avx2(const std::uint64_t* a,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 std::size_t and_popcount_avx2(const std::uint64_t* a,
                                                     const std::uint64_t* b, std::size_t n) {
   __m256i acc = _mm256_setzero_si256();
   std::size_t i = 0;
@@ -168,7 +172,7 @@ SYMBIOSIS_TARGET_AVX2 std::size_t and_popcount_avx2(const std::uint64_t* a,
   return total;
 }
 
-SYMBIOSIS_TARGET_AVX2 void and_not_avx2(std::uint64_t* dst, const std::uint64_t* a,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 void and_not_avx2(std::uint64_t* dst, const std::uint64_t* a,
                                         const std::uint64_t* b, std::size_t n) {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -179,14 +183,14 @@ SYMBIOSIS_TARGET_AVX2 void and_not_avx2(std::uint64_t* dst, const std::uint64_t*
   for (; i < n; ++i) dst[i] = a[i] & ~b[i];
 }
 
-SYMBIOSIS_TARGET_AVX2 void xor_popcount_many_avx2(const std::uint64_t* a,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 void xor_popcount_many_avx2(const std::uint64_t* a,
                                                   const std::uint64_t* const* bs,
                                                   std::size_t count, std::size_t words,
                                                   std::size_t* out) {
   for (std::size_t c = 0; c < count; ++c) out[c] = xor_popcount_avx2(a, bs[c], words);
 }
 
-SYMBIOSIS_TARGET_AVX2 std::size_t nibble_count_eq_avx2(const std::uint8_t* packed,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 std::size_t nibble_count_eq_avx2(const std::uint8_t* packed,
                                                        std::size_t nibbles, std::uint8_t value) {
   const std::size_t full = nibbles / 2;
   const __m256i low_mask = _mm256_set1_epi8(0x0f);
@@ -210,7 +214,7 @@ SYMBIOSIS_TARGET_AVX2 std::size_t nibble_count_eq_avx2(const std::uint8_t* packe
   return total;
 }
 
-SYMBIOSIS_TARGET_AVX2 void nibble_merge_saturating_avx2(std::uint8_t* dst,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 void nibble_merge_saturating_avx2(std::uint8_t* dst,
                                                         const std::uint8_t* src,
                                                         std::size_t nibbles,
                                                         std::uint8_t max_value) {
@@ -238,7 +242,7 @@ SYMBIOSIS_TARGET_AVX2 void nibble_merge_saturating_avx2(std::uint8_t* dst,
   }
 }
 
-SYMBIOSIS_TARGET_AVX2 void nibble_decay_avx2(std::uint8_t* packed, std::size_t nibbles,
+SYM_HOT SYMBIOSIS_TARGET_AVX2 void nibble_decay_avx2(std::uint8_t* packed, std::size_t nibbles,
                                              std::uint8_t max_value) {
   const std::size_t bytes = (nibbles + 1) / 2;
   const __m256i low_mask = _mm256_set1_epi8(0x0f);
@@ -275,7 +279,7 @@ constexpr KernelOps kAvx2Ops{
 
 #if defined(SYMBIOSIS_KERNELS_NEON)
 
-std::size_t popcount_neon(const std::uint64_t* words, std::size_t n) {
+SYM_HOT std::size_t popcount_neon(const std::uint64_t* words, std::size_t n) {
   std::size_t total = 0;
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
@@ -286,7 +290,7 @@ std::size_t popcount_neon(const std::uint64_t* words, std::size_t n) {
   return total;
 }
 
-std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+SYM_HOT std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
   std::size_t total = 0;
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
@@ -297,7 +301,7 @@ std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, st
   return total;
 }
 
-std::size_t and_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+SYM_HOT std::size_t and_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
   std::size_t total = 0;
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
@@ -308,7 +312,7 @@ std::size_t and_popcount_neon(const std::uint64_t* a, const std::uint64_t* b, st
   return total;
 }
 
-void and_not_neon(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+SYM_HOT void and_not_neon(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
                   std::size_t n) {
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
@@ -317,12 +321,12 @@ void and_not_neon(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_
   for (; i < n; ++i) dst[i] = a[i] & ~b[i];
 }
 
-void xor_popcount_many_neon(const std::uint64_t* a, const std::uint64_t* const* bs,
+SYM_HOT void xor_popcount_many_neon(const std::uint64_t* a, const std::uint64_t* const* bs,
                             std::size_t count, std::size_t words, std::size_t* out) {
   for (std::size_t c = 0; c < count; ++c) out[c] = xor_popcount_neon(a, bs[c], words);
 }
 
-std::size_t nibble_count_eq_neon(const std::uint8_t* packed, std::size_t nibbles,
+SYM_HOT std::size_t nibble_count_eq_neon(const std::uint8_t* packed, std::size_t nibbles,
                                  std::uint8_t value) {
   const std::size_t full = nibbles / 2;
   const uint8x16_t low_mask = vdupq_n_u8(0x0f);
@@ -345,7 +349,7 @@ std::size_t nibble_count_eq_neon(const std::uint8_t* packed, std::size_t nibbles
   return total;
 }
 
-void nibble_merge_saturating_neon(std::uint8_t* dst, const std::uint8_t* src,
+SYM_HOT void nibble_merge_saturating_neon(std::uint8_t* dst, const std::uint8_t* src,
                                   std::size_t nibbles, std::uint8_t max_value) {
   const std::size_t bytes = (nibbles + 1) / 2;
   const uint8x16_t low_mask = vdupq_n_u8(0x0f);
@@ -364,7 +368,7 @@ void nibble_merge_saturating_neon(std::uint8_t* dst, const std::uint8_t* src,
   }
 }
 
-void nibble_decay_neon(std::uint8_t* packed, std::size_t nibbles, std::uint8_t max_value) {
+SYM_HOT void nibble_decay_neon(std::uint8_t* packed, std::size_t nibbles, std::uint8_t max_value) {
   const std::size_t bytes = (nibbles + 1) / 2;
   const uint8x16_t low_mask = vdupq_n_u8(0x0f);
   const uint8x16_t vmax = vdupq_n_u8(max_value);
@@ -412,10 +416,27 @@ const KernelOps& kernel_ops(util::SimdBackend backend) noexcept {
   }
 }
 
-const KernelOps& ops() noexcept {
-  // Bound once; util::active_simd_backend() honours SYMBIOSIS_SIMD.
-  static const KernelOps& kActive = kernel_ops(util::active_simd_backend());
-  return kActive;
+namespace {
+// Bound-once dispatch table pointer. A function-local static would guard
+// its initialization with __cxa_guard_acquire -- a lock on every signature
+// kernel call path -- so the binding is a lock-free atomic instead: the
+// hot read is one acquire load, and the cold first-call binding is
+// idempotent (active_simd_backend() is deterministic for a process), so a
+// racing double-bind stores the same pointer twice.
+std::atomic<const KernelOps*> g_active_ops{nullptr};
+
+SYM_COLD const KernelOps& bind_ops() noexcept {
+  // util::active_simd_backend() honours SYMBIOSIS_SIMD (env read + log --
+  // cold by design).
+  const KernelOps& bound = kernel_ops(util::active_simd_backend());
+  g_active_ops.store(&bound, std::memory_order_release);
+  return bound;
+}
+}  // namespace
+
+SYM_HOT const KernelOps& ops() noexcept {
+  const KernelOps* active = g_active_ops.load(std::memory_order_acquire);
+  return active != nullptr ? *active : bind_ops();
 }
 
 }  // namespace symbiosis::sig::kernels

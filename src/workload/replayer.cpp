@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/hotpath.hpp"
 
 namespace symbiosis::workload {
 
@@ -135,17 +136,19 @@ bool TraceReplayer::retire_sync(std::size_t t) {
   return false;
 }
 
+SYM_HOT bool TraceReplayer::apply_chunk(std::size_t t, ThreadState& ts) {
+  const std::size_t core = t % hierarchy_.num_cores();
+  const cachesim::BatchSummary summary =
+      hierarchy_.access_batch(core, ts.buffer.data(), ts.buffered);
+  result_.totals += summary;
+  result_.threads[t].mem_refs += summary.accesses;
+  ts.buffered = 0;
+  return true;
+}
+
 bool TraceReplayer::visit(std::size_t t) {
   ThreadState& ts = threads_[t];
-  if (ts.buffered > 0) {
-    const std::size_t core = t % hierarchy_.num_cores();
-    const cachesim::BatchSummary summary =
-        hierarchy_.access_batch(core, ts.buffer.data(), ts.buffered);
-    result_.totals += summary;
-    result_.threads[t].mem_refs += summary.accesses;
-    ts.buffered = 0;
-    return true;
-  }
+  if (ts.buffered > 0) return apply_chunk(t, ts);
   if (ts.has_sync) return retire_sync(t);
   return false;  // exhausted
 }

@@ -104,6 +104,11 @@ class TraceReplayer {
   void decode_phase();
   /// Apply thread @p t's pending work; returns true if it made progress.
   bool visit(std::size_t t);
+  /// The hot half of visit(): drive @p ts's decoded chunk through
+  /// Hierarchy::access_batch and fold the summary into the result. A
+  /// SYM_HOT root; the sync/control plane (retire_sync, with its std::map
+  /// bookkeeping and trace-error throws) deliberately stays outside it.
+  bool apply_chunk(std::size_t t, ThreadState& ts);
   bool retire_sync(std::size_t t);
   [[noreturn]] void report_deadlock() const;
 

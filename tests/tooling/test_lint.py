@@ -27,6 +27,12 @@ def load_lint():
 lint = load_lint()
 
 
+def render(problems) -> list[str]:
+    """check_file returns (file, line, rule, message) tuples; the assertions
+    below match on the rendered `file:line: message` form lint.py prints."""
+    return [f"{file}:{lineno}: {message}" for file, lineno, _rule, message in problems]
+
+
 class StripStringsAndComments(unittest.TestCase):
     def strip(self, line, in_block=False):
         return lint.strip_strings_and_comments(line, in_block)
@@ -90,7 +96,7 @@ class CheckFileRules(unittest.TestCase):
             path = Path(tmp) / relpath
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(text, encoding="utf-8")
-            return lint.check_file(path)
+            return render(lint.check_file(path))
 
     def test_raw_assert_flagged(self):
         problems = self.check("src/a.cpp", "void f() { assert(1); }\n")
@@ -130,7 +136,7 @@ class RawMutexRule(unittest.TestCase):
             path = Path(tmp) / relpath
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(text, encoding="utf-8")
-            return lint.check_file(path)
+            return render(lint.check_file(path))
 
     HEADER = "#pragma once\n"
 
@@ -187,7 +193,7 @@ class WaiverEdgeCases(unittest.TestCase):
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "w", encoding="utf-8", newline=newline) as fh:
                 fh.write(text)
-            return lint.check_file(path)
+            return render(lint.check_file(path))
 
     def test_crlf_waiver_accepted(self):
         text = (

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/analyze/waivers.py (CTest: tooling.waivers), the
+inline-waiver <-> TOML-registry machinery shared by symdet and symhot.
+
+Uses a self-contained grammar (tag `demo:`, payload `ok(...)`) so the tests
+prove the module is grammar-independent -- the tool-specific suites
+(test_determinism.py, test_hotpath.py) cover the real grammars end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_waivers():
+    spec = importlib.util.spec_from_file_location(
+        "waivers", REPO_ROOT / "scripts" / "analyze" / "waivers.py")
+    module = importlib.util.module_from_spec(spec)
+    # Dataclass field resolution needs the module visible in sys.modules.
+    sys.modules["waivers"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+waivers = load_waivers()
+
+GRAMMAR = waivers.WaiverGrammar(
+    tool="demo",
+    comment_re=re.compile(r"//\s*demo:\s*(?P<payload>.*)$"),
+    payload_re=re.compile(r"^ok\(\s*(?P<reason>[^)]*?)\s*\)\s*$"),
+    expected="`// demo: ok(<non-empty reason>)`",
+    registry_display="scripts/analyze/demo_waivers.toml",
+)
+
+
+def scan(raw_lines: list[str]):
+    """Run scan_waivers over literal lines, computing the stripped-code view
+    the same way the analyzers do."""
+    code = []
+    in_block = False
+    for line in raw_lines:
+        stripped, in_block = waivers.strip_strings_and_comments(line, in_block)
+        code.append(stripped)
+    return waivers.scan_waivers(GRAMMAR, "src/demo.cpp", raw_lines, code)
+
+
+class ScanWaivers(unittest.TestCase):
+    def test_waiver_on_code_line_covers_that_line(self):
+        found, errors = scan(["int x = f();  // demo: ok(reviewed)"])
+        self.assertEqual(errors, [])
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].reason, "reviewed")
+        self.assertEqual(found[0].covers, {1})
+
+    def test_comment_only_waiver_covers_next_code_line(self):
+        found, _ = scan(["// demo: ok(reviewed)", "int x = f();"])
+        self.assertEqual(found[0].covers, {1, 2})
+
+    def test_comment_only_waiver_skips_blank_and_comment_lines(self):
+        found, _ = scan(["// demo: ok(reviewed)", "", "// note", "int x;"])
+        self.assertEqual(found[0].covers, {1, 4})
+
+    def test_comment_only_waiver_reach_is_bounded(self):
+        found, _ = scan(["// demo: ok(reviewed)", "", "", "", "int x;"])
+        self.assertEqual(found[0].covers, {1})  # line 5 is out of reach
+
+    def test_malformed_payload_is_syntax_finding(self):
+        found, errors = scan(["int x;  // demo: ok()"])
+        self.assertEqual(found, [])
+        self.assertEqual(len(errors), 1)
+        self.assertEqual((errors[0].checker, errors[0].rule),
+                         ("waiver", "syntax"))
+        self.assertIn("expected `// demo: ok(<non-empty reason>)`",
+                      errors[0].message)
+
+    def test_empty_payload_is_syntax_finding(self):
+        _, errors = scan(["int x;  // demo:"])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'(empty)'", errors[0].message)
+
+    def test_unrelated_comments_ignored(self):
+        found, errors = scan(["int x;  // demonstrate nothing"])
+        self.assertEqual((found, errors), ([], []))
+
+
+class ApplyWaivers(unittest.TestCase):
+    def make_finding(self, line: int) -> "waivers.Finding":
+        return waivers.Finding("purity", "alloc", "src/demo.cpp", line, "msg")
+
+    def test_covered_finding_is_waived_and_usage_recorded(self):
+        found, _ = scan(["// demo: ok(reviewed)", "int* p = new int;"])
+        finding = self.make_finding(2)
+        waivers.apply_waivers([finding], found)
+        self.assertTrue(finding.waived)
+        self.assertEqual(found[0].used_by, ["purity"])
+
+    def test_uncovered_finding_stays_live(self):
+        found, _ = scan(["// demo: ok(reviewed)", "int x;"])
+        finding = self.make_finding(7)
+        waivers.apply_waivers([finding], found)
+        self.assertFalse(finding.waived)
+
+    def test_unused_waiver_becomes_finding(self):
+        found, _ = scan(["int x;  // demo: ok(reviewed)"])
+        unused = waivers.unused_waiver_findings(found)
+        self.assertEqual(len(unused), 1)
+        self.assertEqual((unused[0].checker, unused[0].rule),
+                         ("waiver", "unused"))
+        self.assertIn("suppresses no finding", unused[0].message)
+
+    def test_render_marks_waived_findings(self):
+        finding = self.make_finding(3)
+        finding.waived = True
+        self.assertTrue(finding.render().endswith("(waived)"))
+        self.assertIn("purity/alloc: src/demo.cpp:3:", finding.render())
+
+
+class Registry(unittest.TestCase):
+    def load(self, text: str):
+        errors = []
+
+        def fail(message):
+            errors.append(message)
+            raise RuntimeError(message)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "reg.toml"
+            path.write_text(text, encoding="utf-8")
+            try:
+                return waivers.load_registry(path, fail), errors
+            except RuntimeError:
+                return None, errors
+
+    def test_valid_registry_loads(self):
+        entries, errors = self.load(
+            '[[waiver]]\nfile = "src/demo.cpp"\nchecker = "purity"\n'
+            'reason = "why"\n')
+        self.assertEqual(errors, [])
+        self.assertEqual(entries[0]["checker"], "purity")
+
+    def test_missing_key_fails(self):
+        _, errors = self.load('[[waiver]]\nfile = "src/demo.cpp"\n')
+        self.assertEqual(len(errors), 1)
+        self.assertIn("non-empty string", errors[0])
+
+    def test_bad_toml_fails(self):
+        _, errors = self.load("[[waiver]\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("cannot read waiver registry", errors[0])
+
+    def reconcile(self, entries, used):
+        return waivers.reconcile_registry(GRAMMAR, entries, used)
+
+    def used_waiver(self, file="src/demo.cpp", checker="purity"):
+        waiver = waivers.Waiver(file, 5, "reviewed", {5})
+        waiver.used_by.append(checker)
+        return waiver
+
+    def test_matched_registry_is_clean(self):
+        entries = [{"file": "src/demo.cpp", "checker": "purity",
+                    "reason": "why"}]
+        self.assertEqual(self.reconcile(entries, [self.used_waiver()]), [])
+
+    def test_unregistered_inline_waiver_flagged(self):
+        findings = self.reconcile([], [self.used_waiver()])
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].rule, "unregistered")
+        self.assertIn("scripts/analyze/demo_waivers.toml", findings[0].message)
+
+    def test_stale_registry_entry_flagged(self):
+        entries = [{"file": "src/other.cpp", "checker": "purity",
+                    "reason": "why"}]
+        findings = self.reconcile(entries, [self.used_waiver()])
+        rules = sorted(f.rule for f in findings)
+        self.assertEqual(rules, ["stale-registry", "unregistered"])
+
+    def test_checker_must_match_not_just_file(self):
+        entries = [{"file": "src/demo.cpp", "checker": "indirect",
+                    "reason": "why"}]
+        findings = self.reconcile(entries, [self.used_waiver(checker="purity")])
+        self.assertEqual(sorted(f.rule for f in findings),
+                         ["stale-registry", "unregistered"])
+
+
+class Stripper(unittest.TestCase):
+    """The copy of lint.py's stripper that waivers.py exposes for symhot must
+    keep the same contract (lint.py's own suite covers the original)."""
+
+    def test_waiver_comment_line_strips_to_blank(self):
+        code, _ = waivers.strip_strings_and_comments("  // demo: ok(x)")
+        self.assertEqual(code.strip(), "")
+
+    def test_block_comment_state_round_trips(self):
+        code, in_block = waivers.strip_strings_and_comments("int a; /* open")
+        self.assertTrue(in_block)
+        code, in_block = waivers.strip_strings_and_comments(
+            "still */ int b;", in_block)
+        self.assertFalse(in_block)
+        self.assertIn("int b;", code)
+
+    def test_comment_marker_in_string_is_literal(self):
+        code, in_block = waivers.strip_strings_and_comments(
+            'const char* s = "// demo: ok(x)"; int y;')
+        self.assertFalse(in_block)
+        self.assertIn("int y;", code)
+
+
+if __name__ == "__main__":
+    unittest.main()
